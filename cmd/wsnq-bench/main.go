@@ -1,0 +1,98 @@
+// Command wsnq-bench reproduces the paper's evaluation: it runs the
+// parameter sweeps behind every figure of §5 (plus this repository's
+// extension and ablation studies) and prints the result tables.
+//
+// Usage:
+//
+//	wsnq-bench -fig fig7 -scale 0.2
+//	wsnq-bench -fig all -metric energy,lifetime
+//	wsnq-bench -list
+//
+// Scale 1.0 is the paper's full 20 runs × 250 rounds; the default 0.1
+// reproduces the shapes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wsnq"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure id (see -list) or 'all'")
+		scale   = flag.Float64("scale", 0.1, "fraction of the paper's 20 runs × 250 rounds")
+		metrics = flag.String("metric", "energy,lifetime", "comma-separated metrics: energy, lifetime, values, frames, rankerror")
+		nodes   = flag.Int("nodes", 0, "override the default node count of non-|N| sweeps")
+		seed    = flag.Int64("seed", 0, "override the base seed")
+		list    = flag.Bool("list", false, "list available figures and exit")
+		svgDir  = flag.String("svg", "", "also write one SVG chart per (table, metric) into this directory")
+		logY    = flag.Bool("logy", false, "logarithmic value axis in SVG charts")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range wsnq.Figures() {
+			fmt.Printf("%-12s %s\n             %s\n", f.ID, f.Title, f.Description)
+		}
+		return
+	}
+
+	var ids []string
+	if *fig == "all" {
+		for _, f := range wsnq.Figures() {
+			ids = append(ids, f.ID)
+		}
+	} else {
+		ids = strings.Split(*fig, ",")
+	}
+	sels := strings.Split(*metrics, ",")
+
+	opts := wsnq.FigureOptions{Scale: *scale, Nodes: *nodes, Seed: *seed}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tables, err := wsnq.RunFigure(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsnq-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for ti, t := range tables {
+			for _, m := range sels {
+				m = strings.TrimSpace(m)
+				if id == "loss" && m == "lifetime" {
+					m = wsnq.MetricRankError // the loss study's headline metric
+				}
+				fmt.Println(t.Format(m))
+				if *svgDir != "" {
+					if err := writeSVG(*svgDir, id, ti, m, t, *logY); err != nil {
+						fmt.Fprintf(os.Stderr, "wsnq-bench: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+		}
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeSVG renders one table/metric chart into dir.
+func writeSVG(dir, id string, tableIdx int, metric string, t *wsnq.Table, logY bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	svg, err := t.SVG(metric, logY)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("%s-%s.svg", id, metric)
+	if tableIdx > 0 {
+		name = fmt.Sprintf("%s-%d-%s.svg", id, tableIdx, metric)
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(svg), 0o644)
+}

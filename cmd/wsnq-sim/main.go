@@ -1,0 +1,107 @@
+// Command wsnq-sim runs a single continuous quantile study and prints
+// the averaged metrics, one line per algorithm.
+//
+// Usage:
+//
+//	wsnq-sim -nodes 500 -rounds 250 -runs 5 -alg IQ,HBC,POS
+//	wsnq-sim -dataset pressure -skip 4 -pessimistic -alg all
+//	wsnq-sim -phi 0.9 -period 32 -noise 20 -loss 0.05 -alg IQ
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wsnq"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 500, "number of sensor nodes |N|")
+		area       = flag.Float64("area", 200, "deployment region side [m]")
+		radioRange = flag.Float64("range", 35, "radio range ρ [m]")
+		phi        = flag.Float64("phi", 0.5, "quantile fraction φ (0.5 = median)")
+		rounds     = flag.Int("rounds", 250, "rounds per run")
+		runs       = flag.Int("runs", 5, "simulation runs to average")
+		seed       = flag.Int64("seed", 1, "base seed")
+		loss       = flag.Float64("loss", 0, "per-hop convergecast loss probability")
+
+		dataset     = flag.String("dataset", "synthetic", "synthetic or pressure")
+		period      = flag.Int("period", 63, "synthetic: sinusoid period τ [rounds]")
+		noise       = flag.Float64("noise", 10, "synthetic: noise ψ [%]")
+		universe    = flag.Int("universe", 1<<16, "synthetic: distinct values")
+		skip        = flag.Int("skip", 1, "pressure: keep every skip-th sample")
+		pessimistic = flag.Bool("pessimistic", false, "pressure: use the physical hPa universe")
+
+		algsFlag = flag.String("alg", "all", "comma-separated algorithms or 'all' (TAG, POS, LCLL-H, LCLL-S, HBC, HBC-NB, IQ, ADAPT)")
+		anatomy  = flag.Bool("anatomy", false, "also print the per-phase traffic breakdown (cost anatomy)")
+	)
+	flag.Parse()
+
+	cfg := wsnq.Config{
+		Nodes: *nodes, Area: *area, RadioRange: *radioRange,
+		Phi: *phi, Rounds: *rounds, Runs: *runs, Seed: *seed, LossProb: *loss,
+	}
+	switch *dataset {
+	case "synthetic":
+		cfg.Dataset = wsnq.Dataset{
+			Kind: wsnq.SyntheticData, Universe: *universe,
+			Period: *period, NoisePct: *noise,
+		}
+	case "pressure":
+		cfg.Dataset = wsnq.Dataset{
+			Kind: wsnq.PressureData, Skip: *skip, Pessimistic: *pessimistic,
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "wsnq-sim: unknown dataset %q\n", *dataset)
+		os.Exit(1)
+	}
+
+	var algs []wsnq.Algorithm
+	if *algsFlag == "all" {
+		algs = wsnq.StandardAlgorithms()
+	} else {
+		for _, a := range strings.Split(*algsFlag, ",") {
+			algs = append(algs, wsnq.Algorithm(strings.TrimSpace(a)))
+		}
+	}
+
+	fmt.Printf("|N|=%d  ρ=%.0fm  φ=%.2f (k=%d)  %d rounds × %d runs  dataset=%s\n\n",
+		cfg.Nodes, cfg.RadioRange, cfg.Phi, cfg.K(), cfg.Rounds, cfg.Runs, *dataset)
+	fmt.Printf("%-8s %14s %12s %14s %12s %12s %10s\n",
+		"alg", "energy[µJ/rnd]", "lifetime", "values/round", "frames/rnd", "exact", "rank err")
+	for _, a := range algs {
+		m, err := wsnq.Run(cfg, a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsnq-sim: %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %14.1f %12.0f %14.1f %12.1f %9d/%d %10.2f\n",
+			a, m.MaxNodeEnergyPerRound*1e6, m.LifetimeRounds,
+			m.ValuesPerRound, m.FramesPerRound, m.ExactRounds, m.Rounds, m.MeanRankError)
+		if *anatomy {
+			printAnatomy(m)
+		}
+	}
+}
+
+// printAnatomy renders the per-phase traffic shares of one algorithm.
+func printAnatomy(m wsnq.Metrics) {
+	total := 0.0
+	for _, b := range m.PhaseBitsPerRound {
+		total += b
+	}
+	if total == 0 {
+		return
+	}
+	order := []string{"init", "validation", "refinement", "filter", "collect", "other"}
+	fmt.Printf("         anatomy:")
+	for _, ph := range order {
+		if b, ok := m.PhaseBitsPerRound[ph]; ok && b > 0 {
+			fmt.Printf("  %s %.0f%%", ph, 100*b/total)
+		}
+	}
+	fmt.Println()
+}

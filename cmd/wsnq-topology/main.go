@@ -1,0 +1,138 @@
+// Command wsnq-topology inspects the simulated deployments: structural
+// statistics (hop depths, fan-out, subtree sizes), a Graphviz DOT dump,
+// or an SVG map of node positions and routing-tree edges.
+//
+// Usage:
+//
+//	wsnq-topology -nodes 500 -range 35 -format stats
+//	wsnq-topology -nodes 300 -dataset pressure -format svg > map.svg
+//	wsnq-topology -format dot | dot -Tpng > tree.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"wsnq/internal/data"
+	"wsnq/internal/report"
+	"wsnq/internal/som"
+	"wsnq/internal/wsn"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 500, "number of sensor nodes")
+		area       = flag.Float64("area", 200, "region side [m]")
+		radioRange = flag.Float64("range", 35, "radio range ρ [m]")
+		dataset    = flag.String("dataset", "synthetic", "synthetic (uniform placement) or pressure (SOM placement)")
+		seed       = flag.Int64("seed", 1, "seed")
+		bfs        = flag.Bool("bfs", false, "hop-count BFS tree instead of the Euclidean SPT")
+		format     = flag.String("format", "stats", "stats, dot, or svg")
+		pixels     = flag.Int("pixels", 600, "svg: image size in pixels")
+	)
+	flag.Parse()
+
+	top, err := build(*dataset, *nodes, *area, *radioRange, *seed, *bfs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+		os.Exit(1)
+	}
+
+	switch *format {
+	case "stats":
+		printStats(top)
+	case "dot":
+		out, err := report.DeploymentDOT(top)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	case "svg":
+		out, err := report.DeploymentSVG(top, *area, *pixels)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	default:
+		fmt.Fprintf(os.Stderr, "wsnq-topology: unknown format %q\n", *format)
+		os.Exit(1)
+	}
+}
+
+// build assembles a deployment like the experiment harness does.
+func build(dataset string, nodes int, area, radioRange float64, seed int64, bfs bool) (*wsn.Topology, error) {
+	buildTree := wsn.BuildTree
+	if bfs {
+		buildTree = wsn.BuildTreeBFS
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch dataset {
+	case "synthetic":
+		for attempt := 0; attempt < 50; attempt++ {
+			pos := wsn.RandomPlacement(nodes, area, rng)
+			root := wsn.Point{X: rng.Float64() * area, Y: rng.Float64() * area}
+			if top, err := buildTree(pos, root, radioRange); err == nil {
+				return top, nil
+			}
+		}
+		return nil, fmt.Errorf("no connected placement at ρ=%v", radioRange)
+	case "pressure":
+		tr, err := data.NewPressureTrace(data.PressureConfig{Nodes: nodes, Rounds: 4, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, spread := range []float64{1, 1.5, 2, 3, 4, 6} {
+			pos, err := som.PlaceByFirstValue(tr.FirstValues(), area, som.Config{}, rng)
+			if err != nil {
+				return nil, err
+			}
+			_ = spread
+			if top, err := buildTree(pos, pos[rng.Intn(len(pos))], radioRange); err == nil {
+				return top, nil
+			}
+		}
+		return nil, fmt.Errorf("SOM placement not connected at ρ=%v", radioRange)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+// printStats reports the structural properties that drive the hotspot
+// energy: depth distribution, fan-out, and subtree sizes.
+func printStats(t *wsn.Topology) {
+	n := t.N()
+	subtree := make([]int, n)
+	for _, u := range t.PostOrder {
+		subtree[u] = 1
+		for _, c := range t.Children[u] {
+			subtree[u] += subtree[c]
+		}
+	}
+	var depths, degrees, subs []int
+	for i := 0; i < n; i++ {
+		depths = append(depths, t.Depth[i])
+		degrees = append(degrees, len(t.Children[i]))
+		subs = append(subs, subtree[i])
+	}
+	sort.Ints(depths)
+	sort.Ints(degrees)
+	sort.Ints(subs)
+
+	fmt.Printf("nodes: %d   root children: %d   max depth: %d\n", n, len(t.RootChildren), t.MaxDepth())
+	fmt.Printf("depth    p50 %d   p95 %d   max %d\n", depths[n/2], depths[n*95/100], depths[n-1])
+	fmt.Printf("fan-out  p50 %d   p95 %d   max %d\n", degrees[n/2], degrees[n*95/100], degrees[n-1])
+	fmt.Printf("subtree  p50 %d   p95 %d   max %d (the TAG hotspot carries this many values)\n",
+		subs[n/2], subs[n*95/100], subs[n-1])
+	leaves := 0
+	for i := 0; i < n; i++ {
+		if len(t.Children[i]) == 0 {
+			leaves++
+		}
+	}
+	fmt.Printf("leaves   %d (%.0f%%)\n", leaves, 100*float64(leaves)/float64(n))
+}

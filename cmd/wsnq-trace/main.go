@@ -1,0 +1,101 @@
+// Command wsnq-trace reproduces Figure 4: it runs IQ over the air
+// pressure dataset and emits, per round, the quantile, the adaptive
+// interval Ξ, the measurement extremes, and whether the round needed a
+// refinement — as CSV for plotting, or as an ASCII strip chart.
+//
+// Usage:
+//
+//	wsnq-trace -rounds 125 -format csv > xi_trace.csv
+//	wsnq-trace -rounds 60 -format ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wsnq"
+)
+
+func main() {
+	var (
+		nodes  = flag.Int("nodes", 300, "number of sensor nodes")
+		rounds = flag.Int("rounds", 125, "rounds to trace")
+		seed   = flag.Int64("seed", 1, "seed")
+		format = flag.String("format", "csv", "csv or ascii")
+	)
+	flag.Parse()
+
+	cfg := wsnq.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.Rounds = *rounds
+	cfg.Runs = 1
+	cfg.Seed = *seed
+	cfg.Dataset = wsnq.Dataset{Kind: wsnq.PressureData}
+
+	s, err := wsnq.NewSimulation(cfg, wsnq.IQ)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
+		os.Exit(1)
+	}
+
+	if *format == "csv" {
+		fmt.Println("round,quantile,xi_lo,xi_hi,min,max,refined")
+	}
+	prevConv := 0
+	for t := 0; t < *rounds; t++ {
+		res, err := s.Step()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
+			os.Exit(1)
+		}
+		filter, xiL, xiR, _ := s.IQState()
+		readings := s.Readings()
+		lo, hi := readings[0], readings[0]
+		for _, v := range readings {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		// An IQ update round runs one validation convergecast plus, when
+		// Ξ missed the new quantile, exactly one refinement convergecast.
+		refined := t > 0 && res.Convergecasts-prevConv >= 2
+		prevConv = res.Convergecasts
+
+		switch *format {
+		case "csv":
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%v\n",
+				res.Round, res.Quantile, filter+xiL, filter+xiR, lo, hi, refined)
+		default:
+			const width = 64
+			span := hi - lo + 1
+			col := func(v int) int {
+				c := (v - lo) * (width - 1) / span
+				if c < 0 {
+					c = 0
+				}
+				if c >= width {
+					c = width - 1
+				}
+				return c
+			}
+			line := make([]byte, width)
+			for i := range line {
+				line[i] = ' '
+			}
+			for c := col(filter + xiL); c <= col(filter+xiR); c++ {
+				line[c] = '.'
+			}
+			line[col(res.Quantile)] = '#'
+			marker := " "
+			if refined {
+				marker = "R"
+			}
+			fmt.Printf("%4d %s|%s| q=%d Ξ=[%d,%d]\n",
+				res.Round, marker, line, res.Quantile, filter+xiL, filter+xiR)
+		}
+	}
+}

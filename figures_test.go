@@ -1,0 +1,91 @@
+package wsnq
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFiguresRun exercises every registered figure at a tiny scale:
+// each must produce at least one non-empty table, render as text and
+// SVG, and keep its rows/columns consistent.
+func TestAllFiguresRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps in short mode")
+	}
+	for _, f := range Figures() {
+		f := f
+		t.Run(f.ID, func(t *testing.T) {
+			// 100 nodes keep the ρ=35 disc graph connected even under
+			// clustered SOM placements (fig10); fig9's ρ=15 row needs
+			// the full default density to be connectable at all.
+			opts := FigureOptions{Scale: 0.01, Nodes: 100, Seed: 9}
+			if f.ID == "fig9" {
+				opts.Nodes = 0
+			}
+			tables, err := RunFigure(f.ID, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", f.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", f.ID)
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 || len(tb.Cols) == 0 {
+					t.Fatalf("%s: empty table %q", f.ID, tb.Title)
+				}
+				for _, r := range tb.Rows {
+					for _, c := range tb.Cols {
+						m, ok := tb.Cell(r, c)
+						if !ok {
+							t.Fatalf("%s: missing cell (%s, %s)", f.ID, r, c)
+						}
+						if m.Rounds <= 0 {
+							t.Fatalf("%s: cell (%s, %s) ran no rounds", f.ID, r, c)
+						}
+					}
+				}
+				txt := tb.Format(MetricEnergy)
+				if !strings.Contains(txt, tb.RowLabel) {
+					t.Errorf("%s: text table missing row label", f.ID)
+				}
+				svg, err := tb.SVG(MetricEnergy, false)
+				if err != nil {
+					t.Fatalf("%s: SVG: %v", f.ID, err)
+				}
+				if !strings.HasPrefix(svg, "<svg") {
+					t.Errorf("%s: malformed SVG", f.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestFigureMetricsSane spot-checks that derived metrics of a sweep are
+// internally consistent.
+func TestFigureMetricsSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in short mode")
+	}
+	tables, err := RunFigure("abl-hbcnb", FigureOptions{Scale: 0.01, Nodes: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := tables[0]
+	for _, r := range tb.Rows {
+		for _, c := range tb.Cols {
+			m, _ := tb.Cell(r, c)
+			if m.ExactRounds != m.Rounds {
+				t.Errorf("(%s,%s): inexact loss-free rounds %d/%d", r, c, m.ExactRounds, m.Rounds)
+			}
+			if m.EnergyGini < 0 || m.EnergyGini > 1 {
+				t.Errorf("(%s,%s): Gini %v out of [0,1]", r, c, m.EnergyGini)
+			}
+			if m.HotspotToMedianRatio < 1 {
+				t.Errorf("(%s,%s): hotspot/median %v < 1", r, c, m.HotspotToMedianRatio)
+			}
+			if m.TotalEnergy <= 0 || m.BitsPerRound <= 0 {
+				t.Errorf("(%s,%s): empty traffic metrics %+v", r, c, m)
+			}
+		}
+	}
+}

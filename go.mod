@@ -1,0 +1,3 @@
+module wsnq
+
+go 1.22

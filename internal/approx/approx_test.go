@@ -1,0 +1,194 @@
+package approx
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnq/internal/mathx"
+	"wsnq/internal/simtest"
+)
+
+func TestQDBoundedRankError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	series := simtest.CorrelatedSeries(rng, 100, 30, 1<<12, 40)
+	rt, err := simtest.RuntimeFromSeries(series, 1<<12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd := NewQD(64)
+	k := 50
+	bound := 100 * 13 / 64 // n·log₂(σ)/K with σ padded to 2^12, +1 level slack
+	check := func(round int, got int) {
+		vals := make([]int, 100)
+		for i := range vals {
+			vals[i] = series[i][round]
+		}
+		re := rankErrOf(vals, k, got)
+		if re > bound+2 {
+			t.Errorf("round %d: rank error %d exceeds bound %d", round, re, bound)
+		}
+	}
+	q, err := qd.Init(rt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(0, q)
+	for r := 1; r < 30; r++ {
+		rt.AdvanceRound()
+		if q, err = qd.Step(rt); err != nil {
+			t.Fatal(err)
+		}
+		check(r, q)
+	}
+}
+
+func TestQDValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	series := simtest.RandomSeries(rng, 10, 2, 64)
+	rt, err := simtest.RuntimeFromSeries(series, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQD(8).Init(rt, 0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := NewQD(0).Init(rt, 5); err == nil {
+		t.Error("zero compression accepted")
+	}
+	if _, err := NewQD(8).Step(rt); err == nil {
+		t.Error("Step before Init accepted")
+	}
+}
+
+func TestQDCostInsensitiveToCorrelation(t *testing.T) {
+	// QD sends fresh digests every round regardless of how much the
+	// data moved — its traffic on static data must match its traffic on
+	// volatile data (within digest-size jitter). This is the property
+	// the extension study exploits.
+	rng := rand.New(rand.NewSource(5))
+	static := make([][]int, 60)
+	for i := range static {
+		v := rng.Intn(1 << 10)
+		static[i] = []int{v, v, v, v, v}
+	}
+	volatile := simtest.RandomSeries(rng, 60, 5, 1<<10)
+
+	bits := func(series [][]int) int {
+		rt, err := simtest.RuntimeFromSeries(series, 1<<10, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qd := NewQD(32)
+		if _, err := qd.Init(rt, 30); err != nil {
+			t.Fatal(err)
+		}
+		for r := 1; r < 5; r++ {
+			rt.AdvanceRound()
+			if _, err := qd.Step(rt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rt.Stats().BitsSent
+	}
+	bs, bv := bits(static), bits(volatile)
+	ratio := float64(bs) / float64(bv)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("QD cost should be correlation-insensitive: static %d vs volatile %d bits", bs, bv)
+	}
+}
+
+func TestSampleReasonableEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	series := simtest.CorrelatedSeries(rng, 200, 20, 1<<12, 30)
+	rt, err := simtest.RuntimeFromSeries(series, 1<<12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSample(0.5)
+	k := 100
+	var totalErr int
+	q, err := sm.Init(rt, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 20; r++ {
+		rt.AdvanceRound()
+		if q, err = sm.Step(rt); err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]int, 200)
+		for i := range vals {
+			vals[i] = series[i][r]
+		}
+		totalErr += rankErrOf(vals, k, q)
+	}
+	// With half the nodes sampled, the mean rank error should stay well
+	// below the trivial error of reporting an extreme (~k = 100).
+	if mean := float64(totalErr) / 19; mean > 40 {
+		t.Errorf("mean rank error %v too large for 50%% sampling", mean)
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	series := simtest.RandomSeries(rng, 10, 2, 64)
+	rt, err := simtest.RuntimeFromSeries(series, 64, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSample(0).Init(rt, 5); err == nil {
+		t.Error("zero probability accepted")
+	}
+	if _, err := NewSample(1.5).Init(rt, 5); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewSample(0.5).Step(rt); err == nil {
+		t.Error("Step before Init accepted")
+	}
+}
+
+func TestSampleFullProbabilityIsNearlyExact(t *testing.T) {
+	// p = 1 samples everyone: the estimate collapses to (almost) the
+	// exact quantile (off by at most the index-mapping rounding).
+	rng := rand.New(rand.NewSource(11))
+	series := simtest.RandomSeries(rng, 50, 5, 1<<10)
+	rt, err := simtest.RuntimeFromSeries(series, 1<<10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := NewSample(1)
+	k := 25
+	if _, err := sm.Init(rt, k); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 5; r++ {
+		rt.AdvanceRound()
+		q, err := sm.Step(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]int, 50)
+		for i := range vals {
+			vals[i] = series[i][r]
+		}
+		if re := rankErrOf(vals, k, q); re > 1 {
+			t.Errorf("round %d: full sample rank error %d", r, re)
+		}
+	}
+}
+
+// rankErrOf computes the distance between k and the closest rank the
+// reported value occupies.
+func rankErrOf(vals []int, k, reported int) int {
+	below := mathx.CountLess(vals, reported)
+	equal := mathx.CountEqual(vals, reported)
+	loRank, hiRank := below+1, below+equal
+	switch {
+	case k < loRank:
+		return loRank - k
+	case k > hiRank:
+		return k - hiRank
+	default:
+		return 0
+	}
+}

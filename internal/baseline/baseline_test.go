@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnq/internal/data"
+	"wsnq/internal/protocol"
+	"wsnq/internal/simtest"
+)
+
+// algorithms under test, fresh instances per call.
+func freshBaselines() []protocol.Algorithm {
+	return []protocol.Algorithm{
+		NewTAG(),
+		NewPOS(DefaultPOSOptions()),
+		NewLCLL(DefaultLCLLOptions(false)),
+		NewLCLL(DefaultLCLLOptions(true)),
+	}
+}
+
+func TestBaselinesExactOnCorrelatedData(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	series := simtest.CorrelatedSeries(rng, 60, 40, 4096, 30)
+	for _, alg := range freshBaselines() {
+		rt, err := simtest.RuntimeFromSeries(series, 4096, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, alg, 30, 39); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestBaselinesExactOnRandomData(t *testing.T) {
+	// Uncorrelated data is the worst case for continuous filters; the
+	// algorithms must stay exact regardless.
+	rng := rand.New(rand.NewSource(43))
+	series := simtest.RandomSeries(rng, 40, 25, 2048)
+	for _, alg := range freshBaselines() {
+		rt, err := simtest.RuntimeFromSeries(series, 2048, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, alg, 20, 24); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestBaselinesExactOnDuplicateHeavyData(t *testing.T) {
+	// Tiny universe forces massive ties, stressing every rank formula.
+	rng := rand.New(rand.NewSource(44))
+	series := simtest.RandomSeries(rng, 50, 30, 7)
+	for _, alg := range freshBaselines() {
+		rt, err := simtest.RuntimeFromSeries(series, 7, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, alg, 25, 29); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestBaselinesExactAcrossQuantiles(t *testing.T) {
+	// φ-quantiles other than the median, including the extremes.
+	rng := rand.New(rand.NewSource(45))
+	series := simtest.CorrelatedSeries(rng, 45, 20, 1024, 20)
+	for _, k := range []int{1, 5, 11, 34, 45} {
+		for _, alg := range freshBaselines() {
+			rt, err := simtest.RuntimeFromSeries(series, 1024, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := simtest.RunAgainstOracle(rt, alg, k, 19); err != nil {
+				t.Errorf("k=%d: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestBaselinesExactOnSyntheticDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic end-to-end in short mode")
+	}
+	for _, period := range []int{8, 63} {
+		for _, alg := range freshBaselines() {
+			rt, err := simtest.SyntheticRuntime(80, syntheticCfg(period), 60, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := simtest.RunAgainstOracle(rt, alg, 40, 30); err != nil {
+				t.Errorf("period %d: %v", period, err)
+			}
+		}
+	}
+}
+
+func TestBaselinesExactOnPressureDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pressure end-to-end in short mode")
+	}
+	for _, pess := range []bool{false, true} {
+		for _, alg := range freshBaselines() {
+			rt, err := simtest.PressureRuntime(70, 60, pess, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := simtest.RunAgainstOracle(rt, alg, 35, 40); err != nil {
+				t.Errorf("pessimistic=%v: %v", pess, err)
+			}
+		}
+	}
+}
+
+func TestStepBeforeInitFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	series := simtest.RandomSeries(rng, 10, 2, 100)
+	for _, alg := range freshBaselines() {
+		rt, err := simtest.RuntimeFromSeries(series, 100, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := alg.Step(rt); err == nil {
+			t.Errorf("%s: Step before Init accepted", alg.Name())
+		}
+	}
+}
+
+func TestInitRejectsBadRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	series := simtest.RandomSeries(rng, 10, 2, 100)
+	for _, alg := range freshBaselines() {
+		rt, err := simtest.RuntimeFromSeries(series, 100, 15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := alg.Init(rt, 0); err == nil {
+			t.Errorf("%s: rank 0 accepted", alg.Name())
+		}
+		if _, err := alg.Init(rt, 11); err == nil {
+			t.Errorf("%s: rank 11 of 10 accepted", alg.Name())
+		}
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, alg := range freshBaselines() {
+		names[alg.Name()] = true
+	}
+	for _, want := range []string{"TAG", "POS", "LCLL-H", "LCLL-S"} {
+		if !names[want] {
+			t.Errorf("missing algorithm %q", want)
+		}
+	}
+}
+
+func syntheticCfg(period int) data.SyntheticConfig {
+	return data.SyntheticConfig{
+		Seed:     21,
+		Period:   period,
+		NoisePct: 10,
+		Universe: 1 << 14,
+	}
+}

@@ -1,0 +1,184 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsnq/internal/protocol"
+	"wsnq/internal/simtest"
+)
+
+// TestPOSOptionMatrix: every POS configuration must stay exact.
+func TestPOSOptionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	series := simtest.CorrelatedSeries(rng, 50, 30, 2048, 60)
+	for _, hints := range []protocol.HintMode{protocol.HintNone, protocol.HintTwoValues, protocol.HintMaxDistance} {
+		for _, direct := range []bool{false, true} {
+			alg := NewPOS(POSOptions{Hints: hints, DirectRetrieval: direct})
+			rt, err := simtest.RuntimeFromSeries(series, 2048, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := simtest.RunAgainstOracle(rt, alg, 25, 29); err != nil {
+				t.Errorf("hints=%v direct=%v: %v", hints, direct, err)
+			}
+		}
+	}
+}
+
+// TestPOSHintsReduceEnergy: the hint-bounded search must be cheaper
+// than the unbounded one on drifting data.
+func TestPOSHintsReduceEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	series := simtest.CorrelatedSeries(rng, 60, 40, 1<<16, 200)
+	run := func(hints protocol.HintMode) int {
+		rt, err := simtest.RuntimeFromSeries(series, 1<<16, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := NewPOS(POSOptions{Hints: hints, DirectRetrieval: true})
+		if err := simtest.RunAgainstOracle(rt, alg, 30, 39); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().BitsSent
+	}
+	withHints := run(protocol.HintTwoValues)
+	without := run(protocol.HintNone)
+	if withHints >= without {
+		t.Errorf("hints did not reduce traffic: %d vs %d bits", withHints, without)
+	}
+}
+
+// TestLCLLOptionMatrix: both variants, with and without direct
+// retrieval, and with custom bucket/window sizes, stay exact.
+func TestLCLLOptionMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	series := simtest.CorrelatedSeries(rng, 50, 25, 4096, 80)
+	cases := []LCLLOptions{
+		{Slip: false, DirectRetrieval: false},
+		{Slip: false, DirectRetrieval: true},
+		{Slip: true, DirectRetrieval: false},
+		{Slip: true, DirectRetrieval: true},
+		{Slip: false, Buckets: 8, DirectRetrieval: true},
+		{Slip: true, WindowWidth: 16, DirectRetrieval: true},
+		{Slip: true, Buckets: 16, WindowWidth: 8},
+	}
+	for i, opts := range cases {
+		rt, err := simtest.RuntimeFromSeries(series, 4096, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, NewLCLL(opts), 25, 24); err != nil {
+			t.Errorf("case %d (%+v): %v", i, opts, err)
+		}
+	}
+}
+
+// TestLCLLTinyUniverse: a universe smaller than the bucket count makes
+// every cell unit width from the start; refinement must degenerate
+// gracefully.
+func TestLCLLTinyUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	series := simtest.RandomSeries(rng, 40, 20, 12)
+	for _, slip := range []bool{false, true} {
+		rt, err := simtest.RuntimeFromSeries(series, 12, 33)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, NewLCLL(DefaultLCLLOptions(slip)), 20, 19); err != nil {
+			t.Errorf("slip=%v: %v", slip, err)
+		}
+	}
+}
+
+// TestPOSDirectRetrievalReducesProbes: with retrieval enabled the
+// binary search should finish in fewer broadcasts on dense data.
+func TestPOSDirectRetrievalReducesProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	series := simtest.CorrelatedSeries(rng, 80, 40, 1<<16, 300)
+	run := func(direct bool) int {
+		rt, err := simtest.RuntimeFromSeries(series, 1<<16, 34)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg := NewPOS(POSOptions{Hints: protocol.HintTwoValues, DirectRetrieval: direct})
+		if err := simtest.RunAgainstOracle(rt, alg, 40, 39); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().Broadcasts
+	}
+	with := run(true)
+	without := run(false)
+	if with > without {
+		t.Errorf("direct retrieval increased broadcasts: %d vs %d", with, without)
+	}
+}
+
+// TestTAGValuesScaleWithK: TAG's transported values grow with the rank.
+func TestTAGValuesScaleWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	series := simtest.RandomSeries(rng, 100, 10, 1<<12)
+	run := func(k int) int {
+		rt, err := simtest.RuntimeFromSeries(series, 1<<12, 35)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, NewTAG(), k, 9); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().ValuesSent
+	}
+	small, large := run(5), run(90)
+	if small >= large {
+		t.Errorf("TAG values should grow with k: k=5 %d vs k=90 %d", small, large)
+	}
+}
+
+// TestRepeatedSnapshotExact: the stateless snapshot strawman stays
+// exact every round.
+func TestRepeatedSnapshotExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	series := simtest.CorrelatedSeries(rng, 50, 25, 4096, 80)
+	for _, b := range []int{0, 2, 16} {
+		rt, err := simtest.RuntimeFromSeries(series, 4096, 36)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, NewRepeatedSnapshot(b), 25, 24); err != nil {
+			t.Errorf("b=%d: %v", b, err)
+		}
+	}
+	// Validation.
+	rt, err := simtest.RuntimeFromSeries(series, 4096, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRepeatedSnapshot(0).Init(rt, 0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := NewRepeatedSnapshot(0).Step(rt); err == nil {
+		t.Error("Step before Init accepted")
+	}
+}
+
+// TestRepeatedSnapshotCostsMoreThanContinuous: carrying state between
+// rounds must pay off on correlated data (the paper's premise).
+func TestRepeatedSnapshotCostsMoreThanContinuous(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	series := simtest.CorrelatedSeries(rng, 80, 40, 1<<14, 30)
+	bits := func(alg protocol.Algorithm) int {
+		rt, err := simtest.RuntimeFromSeries(series, 1<<14, 38)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := simtest.RunAgainstOracle(rt, alg, 40, 39); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Stats().BitsSent
+	}
+	snap := bits(NewRepeatedSnapshot(0))
+	pos := bits(NewPOS(DefaultPOSOptions()))
+	if pos >= snap {
+		t.Errorf("continuous POS (%d bits) should undercut repeated snapshots (%d bits)", pos, snap)
+	}
+}

@@ -1,0 +1,64 @@
+package baseline
+
+import (
+	"fmt"
+
+	"wsnq/internal/costmodel"
+	"wsnq/internal/protocol"
+	"wsnq/internal/sim"
+)
+
+// RepeatedSnapshot answers the continuous query by re-running the
+// snapshot b-ary histogram search of [21] from scratch every round,
+// carrying no state between rounds. It is the natural strawman the
+// paper's continuous algorithms are built to beat: comparing it against
+// HBC isolates exactly what the validation filter and the carried
+// l/e/g state are worth (the ext-snapshot study).
+type RepeatedSnapshot struct {
+	// Buckets overrides the cost-model bucket count when positive.
+	Buckets int
+
+	k, b int
+}
+
+// NewRepeatedSnapshot returns a repeated-snapshot instance; buckets = 0
+// uses the cost model of [21].
+func NewRepeatedSnapshot(buckets int) *RepeatedSnapshot {
+	return &RepeatedSnapshot{Buckets: buckets}
+}
+
+// Name implements protocol.Algorithm.
+func (r *RepeatedSnapshot) Name() string { return "SNAP" }
+
+// Init implements protocol.Algorithm.
+func (r *RepeatedSnapshot) Init(rt *sim.Runtime, k int) (int, error) {
+	if k < 1 || k > rt.N() {
+		return 0, fmt.Errorf("baseline: snapshot rank %d out of [1,%d]", k, rt.N())
+	}
+	b := r.Buckets
+	if b <= 0 {
+		lo, hi := rt.Universe()
+		var err error
+		if b, err = costmodel.FromSizes(rt.Sizes()).BucketCount(hi - lo + 1); err != nil {
+			return 0, err
+		}
+	}
+	if b < 2 {
+		b = 2
+	}
+	r.k, r.b = k, b
+	return r.Step(rt)
+}
+
+// Step implements protocol.Algorithm: one full b-ary search.
+func (r *RepeatedSnapshot) Step(rt *sim.Runtime) (int, error) {
+	if r.k == 0 {
+		return 0, fmt.Errorf("baseline: snapshot not initialized")
+	}
+	rt.SetPhase(sim.PhaseRefinement)
+	res, err := protocol.SnapshotQuantile(rt, r.k, r.b)
+	if err != nil {
+		return 0, err
+	}
+	return res.Value, nil
+}

@@ -1,0 +1,97 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PressureConfig parameterizes the synthetic air-pressure trace set
+// that substitutes for the Live-from-Earth-and-Mars dataset (§5.1.3).
+// The generated series share a slowly drifting regional baseline with a
+// diurnal cycle, plus stable per-node offsets and small per-node noise,
+// so consecutive quantiles are strongly temporally correlated — the
+// property the continuous algorithms exploit.
+type PressureConfig struct {
+	Nodes  int   // number of node series (the paper extracts 1022)
+	Rounds int   // samples per series
+	Seed   int64 // generator seed
+
+	// SamplesPerDay sets the diurnal-cycle resolution. Default 24.
+	SamplesPerDay int
+}
+
+// Paper's pessimistic universe: the extreme air pressures ever measured
+// on Earth, in hPa (§5.2.5).
+const (
+	PessimisticLoHPa = 856
+	PessimisticHiHPa = 1086
+)
+
+func (c *PressureConfig) applyDefaults() {
+	if c.SamplesPerDay == 0 {
+		c.SamplesPerDay = 24
+	}
+}
+
+// Validate reports configuration errors.
+func (c PressureConfig) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("data: pressure trace needs at least one node, got %d", c.Nodes)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("data: pressure trace needs at least one round, got %d", c.Rounds)
+	}
+	return nil
+}
+
+// NewPressureTrace generates the trace set. Values are integer hPa.
+// The universe defaults to the observed range (the paper's "optimistic"
+// scaling); call SetUniverse(PessimisticLoHPa, PessimisticHiHPa) for
+// the pessimistic setting.
+func NewPressureTrace(cfg PressureConfig) (*Trace, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Regional baseline: bounded random walk around 1013 hPa driven by
+	// a synoptic-scale AR(1) process, plus a diurnal sinusoid.
+	baseline := make([]float64, cfg.Rounds)
+	level := 0.0
+	for t := 0; t < cfg.Rounds; t++ {
+		level = 0.995*level + rng.NormFloat64()*0.35
+		if level > 18 {
+			level = 18
+		}
+		if level < -18 {
+			level = -18
+		}
+		diurnal := 1.2 * math.Sin(2*math.Pi*float64(t)/float64(cfg.SamplesPerDay))
+		baseline[t] = 1013 + level + diurnal
+	}
+
+	series := make([][]int, cfg.Nodes)
+	for i := range series {
+		// Stable altitude/latitude offset per station.
+		offset := rng.NormFloat64() * 4
+		s := make([]int, cfg.Rounds)
+		// Small station-local weather component, also AR(1).
+		local := 0.0
+		for t := 0; t < cfg.Rounds; t++ {
+			local = 0.9*local + rng.NormFloat64()*0.25
+			v := baseline[t] + offset + local
+			iv := int(math.Round(v))
+			if iv < PessimisticLoHPa {
+				iv = PessimisticLoHPa
+			}
+			if iv > PessimisticHiHPa {
+				iv = PessimisticHiHPa
+			}
+			s[t] = iv
+		}
+		series[i] = s
+	}
+	return NewTrace(series)
+}

@@ -1,0 +1,560 @@
+// Package experiment is the evaluation harness reproducing §5: it
+// assembles deployments (synthetic or air-pressure, §5.1.1–§5.1.3),
+// runs the continuous algorithms for the configured number of rounds
+// and simulation runs, and reports the paper's two headline metrics —
+// average maximum per-node energy consumption per round and network
+// lifetime — plus traffic statistics and, under loss injection, rank
+// error.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"wsnq/internal/data"
+	"wsnq/internal/energy"
+	"wsnq/internal/msg"
+	"wsnq/internal/protocol"
+	"wsnq/internal/sim"
+	"wsnq/internal/som"
+	"wsnq/internal/wsn"
+)
+
+// DatasetKind selects the measurement source.
+type DatasetKind int
+
+// The evaluation datasets: the paper's two (§5.1) plus user-supplied
+// traces.
+const (
+	Synthetic DatasetKind = iota
+	Pressure
+	UserTrace
+)
+
+// DatasetSpec configures the measurement source of a run.
+type DatasetSpec struct {
+	Kind DatasetKind
+
+	// Synthetic parameters (§5.1.2, §5.1.7). Seed fields are ignored;
+	// the harness derives per-run seeds.
+	Synthetic data.SyntheticConfig
+
+	// Pressure parameters (§5.1.3, §5.2.5).
+	PressureNodes  int  // trace node count (default Config.Nodes)
+	PressureRounds int  // raw samples before skipping (default 4*Rounds*Skip)
+	Skip           int  // keep every Skip-th sample (sampling-rate sweep)
+	Pessimistic    bool // universe [856, 1086] hPa instead of observed
+
+	// Trace is a user-supplied measurement set (UserTrace kind): one
+	// series per measurement, placed like the pressure dataset (SOM on
+	// first values). Config.Nodes and ValuesPerNode must match its
+	// series count. Skip applies.
+	Trace *data.Trace
+}
+
+// TreeKind selects the routing-tree construction.
+type TreeKind int
+
+// The routing trees under study: the paper's Euclidean shortest-path
+// tree (§5.1.1) and a hop-count (BFS) alternative for the abl-tree
+// study.
+const (
+	TreeSPT TreeKind = iota
+	TreeBFS
+)
+
+// Config assembles one experiment cell (§5.1.7 defaults).
+type Config struct {
+	Nodes      int      // |N|
+	Area       float64  // region side in meters
+	RadioRange float64  // ρ in meters
+	Tree       TreeKind // routing tree construction (default SPT, §5.1.1)
+	// ValuesPerNode models nodes taking several measurements per round
+	// via the paper's artificial-children reduction (§2). Default 1.
+	ValuesPerNode int
+	Phi           float64 // quantile fraction φ; k = max(1, ⌊φ·measurements⌋)
+	Rounds        int     // measured rounds per run (init round included)
+	Runs          int     // simulation runs to average over
+	Seed          int64   // base seed; run r derives from it
+
+	Dataset DatasetSpec
+	Sizes   msg.Sizes
+	Energy  energy.Params
+
+	// LossProb injects per-hop convergecast loss (the §6 future-work
+	// study); algorithms may then return inexact results, measured as
+	// rank error.
+	LossProb float64
+
+	// ChargeByDistance charges transmissions by actual link length
+	// instead of the nominal radio range (the abl-energy study).
+	ChargeByDistance bool
+}
+
+// Default returns the paper's default cell: 500 nodes in 200×200 m,
+// ρ = 35 m, median query, 250 rounds × 20 runs, synthetic data with
+// τ = 63 rounds and ψ = 10 %.
+func Default() Config {
+	return Config{
+		Nodes:      500,
+		Area:       200,
+		RadioRange: 35,
+		Phi:        0.5,
+		Rounds:     250,
+		Runs:       20,
+		Seed:       1,
+		Dataset: DatasetSpec{
+			Kind: Synthetic,
+			Synthetic: data.SyntheticConfig{
+				Universe: 1 << 16,
+				Period:   63,
+				NoisePct: 10,
+			},
+		},
+		Sizes:  msg.DefaultSizes(),
+		Energy: energy.DefaultParams(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("experiment: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Area <= 0 || c.RadioRange <= 0 {
+		return fmt.Errorf("experiment: area %v and radio range %v must be positive", c.Area, c.RadioRange)
+	}
+	if c.Phi <= 0 || c.Phi > 1 {
+		return fmt.Errorf("experiment: phi %v out of (0,1]", c.Phi)
+	}
+	if c.Rounds < 1 || c.Runs < 1 {
+		return fmt.Errorf("experiment: rounds %d and runs %d must be >= 1", c.Rounds, c.Runs)
+	}
+	if err := c.Sizes.Validate(); err != nil {
+		return err
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	if c.LossProb < 0 || c.LossProb >= 1 {
+		return fmt.Errorf("experiment: loss probability %v out of [0,1)", c.LossProb)
+	}
+	return nil
+}
+
+// Measurements returns the total number of values per round,
+// |N|·ValuesPerNode.
+func (c Config) Measurements() int {
+	m := c.ValuesPerNode
+	if m < 1 {
+		m = 1
+	}
+	return c.Nodes * m
+}
+
+// K returns the queried rank over all measurements.
+func (c Config) K() int {
+	n := c.Measurements()
+	k := int(c.Phi * float64(n))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Factory builds a fresh algorithm instance for one run.
+type Factory func() protocol.Algorithm
+
+// Metrics aggregates one algorithm's results over all runs of a cell.
+type Metrics struct {
+	// MaxNodeEnergyPerRound is the paper's first headline metric:
+	// consumption of the hottest node divided by rounds, averaged over
+	// runs, in joules.
+	MaxNodeEnergyPerRound float64
+	// LifetimeRounds is the second headline metric: rounds until the
+	// first node exhausts its budget, extrapolated from the hottest
+	// node's measured consumption rate when no node dies within the
+	// measured window.
+	LifetimeRounds float64
+
+	TotalEnergy    float64 // network-wide joules per run
+	ValuesPerRound float64 // transmitted measurements per round (per hop)
+	FramesPerRound float64 // link-layer frames per round
+	BitsPerRound   float64 // bits on the air per round
+
+	// Energy-fairness statistics over the per-node consumption
+	// distribution at the end of a run: the Gini coefficient (0 =
+	// perfectly even drain, →1 = one node carries everything) and the
+	// hotspot-to-median ratio. Uneven drain shortens lifetime even when
+	// the total is low.
+	EnergyGini           float64
+	HotspotToMedianRatio float64
+
+	// PhaseBitsPerRound attributes the per-round traffic to protocol
+	// stages (sim.Phase* labels) — the cost anatomy.
+	PhaseBitsPerRound map[string]float64
+
+	// Exactness bookkeeping (interesting under loss).
+	ExactRounds   int     // rounds whose answer matched the oracle
+	Rounds        int     // total measured rounds
+	MeanRankError float64 // mean |rank(answer) − k|
+	Reinits       int     // error-triggered re-initializations
+}
+
+// Run executes the cell for one algorithm and averages over cfg.Runs.
+func Run(cfg Config, factory Factory) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	var agg Metrics
+	for r := 0; r < cfg.Runs; r++ {
+		m, err := runOnce(cfg, factory(), r)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("run %d: %w", r, err)
+		}
+		agg.MaxNodeEnergyPerRound += m.MaxNodeEnergyPerRound
+		agg.LifetimeRounds += m.LifetimeRounds
+		agg.TotalEnergy += m.TotalEnergy
+		agg.ValuesPerRound += m.ValuesPerRound
+		agg.FramesPerRound += m.FramesPerRound
+		agg.BitsPerRound += m.BitsPerRound
+		agg.ExactRounds += m.ExactRounds
+		agg.Rounds += m.Rounds
+		agg.MeanRankError += m.MeanRankError
+		agg.Reinits += m.Reinits
+		agg.EnergyGini += m.EnergyGini
+		agg.HotspotToMedianRatio += m.HotspotToMedianRatio
+		for ph, bits := range m.PhaseBitsPerRound {
+			if agg.PhaseBitsPerRound == nil {
+				agg.PhaseBitsPerRound = make(map[string]float64)
+			}
+			agg.PhaseBitsPerRound[ph] += bits
+		}
+	}
+	f := float64(cfg.Runs)
+	agg.MaxNodeEnergyPerRound /= f
+	agg.LifetimeRounds /= f
+	agg.TotalEnergy /= f
+	agg.ValuesPerRound /= f
+	agg.FramesPerRound /= f
+	agg.BitsPerRound /= f
+	agg.MeanRankError /= f
+	agg.EnergyGini /= f
+	agg.HotspotToMedianRatio /= f
+	for ph := range agg.PhaseBitsPerRound {
+		agg.PhaseBitsPerRound[ph] /= f
+	}
+	return agg, nil
+}
+
+// runOnce executes one simulation run.
+func runOnce(cfg Config, alg protocol.Algorithm, run int) (Metrics, error) {
+	rt, err := BuildRuntime(cfg, run)
+	if err != nil {
+		return Metrics{}, err
+	}
+	k := cfg.K()
+
+	var m Metrics
+	var errSum float64
+	died := 0 // round at which the first node died (0 = survived)
+
+	record := func(q int) {
+		m.Rounds++
+		re := rankError(rt, k, q)
+		if re == 0 {
+			m.ExactRounds++
+		}
+		errSum += float64(re)
+		if died == 0 && rt.Ledger().Exhausted() {
+			died = m.Rounds
+		}
+	}
+
+	// Initialization is modeled as reliable (acknowledged) transfer;
+	// loss applies to the continuous per-round traffic only.
+	reliableInit := func() (int, error) {
+		if cfg.LossProb > 0 {
+			_ = rt.SetLossProb(0)
+			defer func() { _ = rt.SetLossProb(cfg.LossProb) }()
+		}
+		return alg.Init(rt, k)
+	}
+
+	q, err := reliableInit()
+	if err != nil {
+		return Metrics{}, fmt.Errorf("%s init: %w", alg.Name(), err)
+	}
+	record(q)
+	for t := 1; t < cfg.Rounds; t++ {
+		rt.AdvanceRound()
+		q, err = alg.Step(rt)
+		if err != nil {
+			// Loss can desynchronize a protocol; the root then triggers
+			// a re-initialization, whose cost is accounted like any
+			// other traffic.
+			if cfg.LossProb == 0 {
+				return Metrics{}, fmt.Errorf("%s round %d: %w", alg.Name(), t, err)
+			}
+			m.Reinits++
+			q, err = reliableInit()
+			if err != nil {
+				return Metrics{}, fmt.Errorf("%s reinit round %d: %w", alg.Name(), t, err)
+			}
+		}
+		record(q)
+	}
+
+	rounds := float64(m.Rounds)
+	_, hottest := rt.Ledger().MaxSpent()
+	m.MaxNodeEnergyPerRound = hottest / rounds
+	m.TotalEnergy = rt.Ledger().TotalSpent()
+	m.EnergyGini, m.HotspotToMedianRatio = fairness(rt.Ledger().Snapshot())
+	st := rt.Stats()
+	m.PhaseBitsPerRound = make(map[string]float64)
+	for ph, ps := range st.PerPhase {
+		m.PhaseBitsPerRound[ph] = float64(ps.Bits) / rounds
+	}
+	m.ValuesPerRound = float64(st.ValuesSent) / rounds
+	m.FramesPerRound = float64(st.FramesSent) / rounds
+	m.BitsPerRound = float64(st.BitsSent) / rounds
+	m.MeanRankError = errSum / rounds
+
+	switch {
+	case died > 0:
+		m.LifetimeRounds = float64(died)
+	case hottest <= 0:
+		m.LifetimeRounds = float64(cfg.Rounds)
+	default:
+		// Extrapolate from the hottest node's measured rate.
+		m.LifetimeRounds = cfg.Energy.InitialBudget / (hottest / rounds)
+	}
+	return m, nil
+}
+
+// rankError returns the distance between k and the closest rank the
+// reported value occupies in the true (oracle) data; 0 means exact.
+func rankError(rt *sim.Runtime, k, reported int) int {
+	below, equal := 0, 0
+	for i := 0; i < rt.N(); i++ {
+		v := rt.Reading(i)
+		if v < reported {
+			below++
+		} else if v == reported {
+			equal++
+		}
+	}
+	// With equal == 0 the reported value does not exist in the data; it
+	// would sit between ranks below and below+1, so the distance to k
+	// is at least 1.
+	loRank, hiRank := below+1, below+equal
+	switch {
+	case k < loRank:
+		return loRank - k
+	case k > hiRank:
+		return k - hiRank
+	default:
+		return 0
+	}
+}
+
+// fairness computes the Gini coefficient and the hotspot-to-median
+// ratio of a per-node consumption distribution.
+func fairness(spent []float64) (gini, hotspotToMedian float64) {
+	if len(spent) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(spent)
+	n := float64(len(spent))
+	var sum, weighted float64
+	for i, e := range spent {
+		sum += e
+		weighted += float64(i+1) * e
+	}
+	if sum > 0 {
+		gini = (2*weighted - (n+1)*sum) / (n * sum)
+	}
+	median := spent[len(spent)/2]
+	hotspot := spent[len(spent)-1]
+	if median > 0 {
+		hotspotToMedian = hotspot / median
+	}
+	return gini, hotspotToMedian
+}
+
+// expandVirtual applies the artificial-children reduction when the
+// configuration asks for multiple measurements per node.
+func expandVirtual(top *wsn.Topology, cfg Config) (*wsn.Topology, error) {
+	if cfg.ValuesPerNode <= 1 {
+		return top, nil
+	}
+	return wsn.ExpandVirtual(top, cfg.ValuesPerNode)
+}
+
+// BuildRuntime assembles the deployment of one run. Run r derives its
+// seeds from the base seed so runs differ but remain reproducible.
+func BuildRuntime(cfg Config, run int) (*sim.Runtime, error) {
+	seed := cfg.Seed + int64(run)*104729 // distinct prime stride per run
+	buildTree := wsn.BuildTree
+	if cfg.Tree == TreeBFS {
+		buildTree = wsn.BuildTreeBFS
+	}
+	switch cfg.Dataset.Kind {
+	case Synthetic:
+		rng := rand.New(rand.NewSource(seed))
+		var top *wsn.Topology
+		var err error
+		for attempt := 0; attempt < 50; attempt++ {
+			pos := wsn.RandomPlacement(cfg.Nodes, cfg.Area, rng)
+			root := wsn.Point{X: rng.Float64() * cfg.Area, Y: rng.Float64() * cfg.Area}
+			top, err = buildTree(pos, root, cfg.RadioRange)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiment: no connected placement: %w", err)
+		}
+		if top, err = expandVirtual(top, cfg); err != nil {
+			return nil, err
+		}
+		scfg := cfg.Dataset.Synthetic
+		scfg.Seed = seed
+		// Virtual children share their host's position and therefore
+		// its spatially correlated base level; per-node jitter and
+		// noise still give each measurement its own value.
+		src, err := data.NewSynthetic(scfg, top.Pos, cfg.Area)
+		if err != nil {
+			return nil, err
+		}
+		return sim.New(sim.Config{
+			Topology: top, Source: src,
+			Sizes: cfg.Sizes, Energy: cfg.Energy,
+			LossProb: cfg.LossProb, Seed: seed ^ 0x10551,
+			ChargeByDistance: cfg.ChargeByDistance,
+		})
+
+	case Pressure:
+		// The trace and SOM placement are fixed across runs (node
+		// positions do not move, §5.1); only the root selection varies.
+		spec := cfg.Dataset
+		nodes := spec.PressureNodes
+		if nodes == 0 {
+			nodes = cfg.Nodes
+		}
+		perNode := cfg.ValuesPerNode
+		if perNode < 1 {
+			perNode = 1
+		}
+		skip := spec.Skip
+		if skip < 1 {
+			skip = 1
+		}
+		// The raw trace length must not depend on the skip factor:
+		// every sampling-rate variant of Figure 10 subsamples the SAME
+		// dataset, so the generator's random stream stays aligned.
+		rawRounds := spec.PressureRounds
+		if rawRounds == 0 {
+			const maxSkip = 16 // largest skip in the Figure 10 sweep
+			need := cfg.Rounds*skip + skip
+			rawRounds = cfg.Rounds*maxSkip + maxSkip
+			if need > rawRounds {
+				rawRounds = need
+			}
+		}
+		// With multiple measurements per node, the trace holds one
+		// series per measurement; the first `nodes` series belong to
+		// the real nodes (and drive the SOM placement), the rest to
+		// their artificial children, in ExpandVirtual's id order.
+		tr, err := data.NewPressureTrace(data.PressureConfig{
+			Nodes: nodes * perNode, Rounds: rawRounds, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if spec.Pessimistic {
+			if err := tr.SetUniverse(data.PessimisticLoHPa, data.PessimisticHiHPa); err != nil {
+				return nil, err
+			}
+		}
+		if skip > 1 {
+			if tr, err = tr.Skip(skip); err != nil {
+				return nil, err
+			}
+		}
+		return traceRuntime(cfg, seed, nodes, tr, buildTree)
+
+	case UserTrace:
+		tr := cfg.Dataset.Trace
+		if tr == nil {
+			return nil, fmt.Errorf("experiment: UserTrace dataset without a trace")
+		}
+		perNode := cfg.ValuesPerNode
+		if perNode < 1 {
+			perNode = 1
+		}
+		if tr.Nodes() != cfg.Nodes*perNode {
+			return nil, fmt.Errorf("experiment: trace has %d series, config needs %d×%d", tr.Nodes(), cfg.Nodes, perNode)
+		}
+		if skip := cfg.Dataset.Skip; skip > 1 {
+			var err error
+			if tr, err = tr.Skip(skip); err != nil {
+				return nil, err
+			}
+		}
+		return traceRuntime(cfg, seed, cfg.Nodes, tr, buildTree)
+
+	default:
+		return nil, fmt.Errorf("experiment: unknown dataset kind %d", cfg.Dataset.Kind)
+	}
+}
+
+// traceRuntime places trace-driven nodes with a SOM over the first
+// measurements of the `nodes` real nodes, builds a connected routing
+// tree rooted at a randomly selected node position, applies the
+// virtual-children expansion, and assembles the runtime.
+func traceRuntime(cfg Config, seed int64, nodes int, tr *data.Trace, buildTree func([]wsn.Point, wsn.Point, float64) (*wsn.Topology, error)) (*sim.Runtime, error) {
+	rootRng := rand.New(rand.NewSource(seed ^ 0x5EED))
+	// SOM placements concentrate nodes along the active lattice band
+	// and can leave disconnected pockets; widen the placement jitter
+	// progressively (keeping best-matching units, hence the spatial
+	// correlation) until the disc graph is connected. The radio range —
+	// and with it the energy model — stays untouched.
+	realFirst := tr.FirstValues()[:nodes]
+	somMap, err := som.Train(realFirst, som.Config{}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	var top *wsn.Topology
+	placed := false
+	for _, spread := range []float64{1, 1.5, 2, 3, 4, 6} {
+		for attempt := 0; attempt < 5; attempt++ {
+			placeRng := rand.New(rand.NewSource(cfg.Seed + int64(attempt)*7919))
+			pos := somMap.PlaceSpread(realFirst, cfg.Area, spread, placeRng)
+			top, err = buildTree(pos, pos[rootRng.Intn(len(pos))], cfg.RadioRange)
+			if err == nil {
+				placed = true
+				break
+			}
+		}
+		if placed {
+			break
+		}
+	}
+	if !placed {
+		return nil, fmt.Errorf("experiment: SOM placement not connected at ρ=%v: %w", cfg.RadioRange, err)
+	}
+	if top, err = expandVirtual(top, cfg); err != nil {
+		return nil, err
+	}
+	return sim.New(sim.Config{
+		Topology: top, Source: tr,
+		Sizes: cfg.Sizes, Energy: cfg.Energy,
+		LossProb: cfg.LossProb, Seed: seed ^ 0x10551,
+		ChargeByDistance: cfg.ChargeByDistance,
+	})
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"testing"
+
+	"wsnq/internal/baseline"
+	"wsnq/internal/core"
+	"wsnq/internal/protocol"
+)
+
+// lossLineup are the algorithms the loss study covers (TAG's collect-k
+// degrades trivially; the continuous protocols are the interesting
+// cases because loss desynchronizes their filter state).
+func lossLineup() []NamedFactory {
+	return []NamedFactory{
+		{"POS", func() protocol.Algorithm { return baseline.NewPOS(baseline.DefaultPOSOptions()) }},
+		{"LCLL-H", func() protocol.Algorithm { return baseline.NewLCLL(baseline.DefaultLCLLOptions(false)) }},
+		{"LCLL-S", func() protocol.Algorithm { return baseline.NewLCLL(baseline.DefaultLCLLOptions(true)) }},
+		{"HBC", func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) }},
+		{"IQ", func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }},
+	}
+}
+
+// TestLossInjectionAllAlgorithms drives every continuous algorithm
+// through lossy runs: no run may abort (re-initialization must recover
+// from any desynchronization) and bookkeeping must stay consistent.
+func TestLossInjectionAllAlgorithms(t *testing.T) {
+	cfg := Default()
+	cfg.Nodes = 60
+	cfg.RadioRange = 45
+	cfg.Rounds = 40
+	cfg.Runs = 2
+	cfg.Dataset.Synthetic.Universe = 1 << 12
+	for _, p := range []float64{0.02, 0.10} {
+		cfg.LossProb = p
+		for _, a := range lossLineup() {
+			m, err := Run(cfg, a.New)
+			if err != nil {
+				t.Errorf("loss %.0f%% %s: %v", p*100, a.Name, err)
+				continue
+			}
+			if m.Rounds != cfg.Rounds*cfg.Runs {
+				t.Errorf("loss %.0f%% %s: %d rounds recorded", p*100, a.Name, m.Rounds)
+			}
+			if m.MeanRankError < 0 || m.ExactRounds > m.Rounds {
+				t.Errorf("loss %.0f%% %s: inconsistent metrics %+v", p*100, a.Name, m)
+			}
+		}
+	}
+}
+
+// TestLossErrorGrowsWithProbability: more loss cannot make results more
+// exact on average (sanity of the rank-error metric), checked on POS
+// whose validation counters drift under loss.
+func TestLossErrorGrowsWithProbability(t *testing.T) {
+	cfg := Default()
+	cfg.Nodes = 80
+	cfg.RadioRange = 45
+	cfg.Rounds = 60
+	cfg.Runs = 3
+	cfg.Dataset.Synthetic.Universe = 1 << 12
+	exact := func(p float64) int {
+		cfg.LossProb = p
+		m, err := Run(cfg, func() protocol.Algorithm { return baseline.NewPOS(baseline.DefaultPOSOptions()) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.ExactRounds
+	}
+	if e0, e20 := exact(0), exact(0.20); e0 != cfg.Rounds*cfg.Runs || e20 >= e0 {
+		t.Errorf("exact rounds: loss-free %d, 20%% loss %d", e0, e20)
+	}
+}
+
+// TestTreeKindBFSRuns exercises the BFS routing option end to end.
+func TestTreeKindBFSRuns(t *testing.T) {
+	cfg := Default()
+	cfg.Nodes = 60
+	cfg.RadioRange = 45
+	cfg.Rounds = 30
+	cfg.Runs = 1
+	cfg.Tree = TreeBFS
+	cfg.Dataset.Synthetic.Universe = 1 << 12
+	m, err := Run(cfg, func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExactRounds != m.Rounds {
+		t.Errorf("BFS run not exact: %d/%d", m.ExactRounds, m.Rounds)
+	}
+	// Pressure dataset over BFS as well.
+	cfg.Dataset = DatasetSpec{Kind: Pressure}
+	cfg.RadioRange = 70
+	m, err = Run(cfg, func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExactRounds != m.Rounds {
+		t.Errorf("BFS pressure run not exact: %d/%d", m.ExactRounds, m.Rounds)
+	}
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"testing"
+
+	"wsnq/internal/core"
+	"wsnq/internal/protocol"
+)
+
+// TestMultiValueNodesExact: the artificial-children reduction (§2)
+// keeps every algorithm exact over all |N|·m measurements.
+func TestMultiValueNodesExact(t *testing.T) {
+	cfg := Default()
+	cfg.Nodes = 40
+	cfg.RadioRange = 50
+	cfg.Rounds = 30
+	cfg.Runs = 1
+	cfg.ValuesPerNode = 3
+	cfg.Dataset.Synthetic.Universe = 1 << 12
+	if cfg.K() != 60 {
+		t.Fatalf("k = %d, want 60 (median of 120 measurements)", cfg.K())
+	}
+	for _, a := range append(StandardAlgorithms(),
+		NamedFactory{"ADAPT", func() protocol.Algorithm { return core.NewAdaptive(core.DefaultAdaptiveOptions()) }}) {
+		m, err := Run(cfg, a.New)
+		if err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+			continue
+		}
+		if m.ExactRounds != m.Rounds {
+			t.Errorf("%s: %d/%d exact", a.Name, m.ExactRounds, m.Rounds)
+		}
+	}
+}
+
+// TestMultiValueCheaperThanMoreNodes: m measurements on N nodes must
+// cost less than 1 measurement on N·m nodes — the virtual hops are
+// free, extra radios are not.
+func TestMultiValueCheaperThanMoreNodes(t *testing.T) {
+	base := Default()
+	base.RadioRange = 50
+	base.Rounds = 40
+	base.Runs = 2
+	base.Dataset.Synthetic.Universe = 1 << 12
+
+	multi := base
+	multi.Nodes = 40
+	multi.ValuesPerNode = 3
+
+	flat := base
+	flat.Nodes = 120
+
+	factory := func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }
+	mm, err := Run(multi, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := Run(flat, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.TotalEnergy >= fm.TotalEnergy {
+		t.Errorf("multi-value total energy %v >= flat %v", mm.TotalEnergy, fm.TotalEnergy)
+	}
+}
+
+// TestMultiValuePressure: the reduction also works on the trace
+// dataset, where each series maps to one measurement.
+func TestMultiValuePressure(t *testing.T) {
+	cfg := Default()
+	cfg.Nodes = 40
+	cfg.RadioRange = 70
+	cfg.Rounds = 20
+	cfg.Runs = 1
+	cfg.ValuesPerNode = 2
+	cfg.Dataset = DatasetSpec{Kind: Pressure}
+	m, err := Run(cfg, func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExactRounds != m.Rounds {
+		t.Errorf("pressure multi-value not exact: %d/%d", m.ExactRounds, m.Rounds)
+	}
+}

@@ -1,0 +1,70 @@
+// Package mathx provides the small numeric substrate the quantile
+// algorithms rely on: the Lambert W function used by the bucket cost
+// model, selection (order statistics) on integer slices, and a few
+// aggregate helpers. Everything is implemented from scratch on top of
+// the standard library.
+package mathx
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLambertWDomain is returned by LambertW for arguments below -1/e,
+// where the principal branch is undefined over the reals.
+var ErrLambertWDomain = errors.New("mathx: LambertW argument below -1/e")
+
+// LambertW evaluates the principal branch W0 of the Lambert W function,
+// the inverse of f(w) = w*e^w, for x >= -1/e. The result w satisfies
+// w*e^w = x with w >= -1.
+//
+// The implementation starts from a log-based initial guess and applies
+// Halley iterations, which converge cubically; a handful of steps
+// reaches full float64 precision across the domain.
+func LambertW(x float64) (float64, error) {
+	const invE = 1.0 / math.E
+	if math.IsNaN(x) {
+		return math.NaN(), ErrLambertWDomain
+	}
+	if x < -invE {
+		// Allow tiny negative excursions caused by rounding.
+		if x > -invE-1e-12 {
+			return -1, nil
+		}
+		return math.NaN(), ErrLambertWDomain
+	}
+	if x == 0 {
+		return 0, nil
+	}
+
+	// Initial guess.
+	var w float64
+	switch {
+	case x < -0.25:
+		// Near the branch point use the series in sqrt(2(e*x+1)).
+		p := math.Sqrt(2 * (math.E*x + 1))
+		w = -1 + p - p*p/3 + 11*p*p*p/72
+	case x < 1:
+		w = x * (1 - x + 1.5*x*x) // truncated Taylor series of W at 0
+	default:
+		l1 := math.Log(x)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	}
+
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		// Halley's method step.
+		denom := ew*(w+1) - (w+2)*f/(2*w+2)
+		if denom == 0 {
+			break
+		}
+		d := f / denom
+		w -= d
+		if math.Abs(d) <= 1e-14*(1+math.Abs(w)) {
+			break
+		}
+	}
+	return w, nil
+}

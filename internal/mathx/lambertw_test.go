@@ -1,0 +1,97 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertWKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0},
+		{math.E, 1},                  // W(e) = 1
+		{2 * math.E * math.E, 2},     // W(2e^2) = 2
+		{-1 / math.E, -1},            // branch point
+		{1, 0.5671432904097838},      // omega constant
+		{10, 1.7455280027406994},     // reference value
+		{100, 3.3856301402900502},    // reference value
+		{1e6, 11.383358086140052},    // reference value
+		{-0.25, -0.3574029561813889}, // reference value
+	}
+	for _, c := range cases {
+		got, err := LambertW(c.x)
+		if err != nil {
+			t.Fatalf("LambertW(%v): unexpected error %v", c.x, err)
+		}
+		if math.Abs(got-c.want) > 1e-9*(1+math.Abs(c.want)) {
+			t.Errorf("LambertW(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLambertWDomainError(t *testing.T) {
+	if _, err := LambertW(-1); err == nil {
+		t.Fatal("LambertW(-1) should fail: below -1/e")
+	}
+	if _, err := LambertW(math.NaN()); err == nil {
+		t.Fatal("LambertW(NaN) should fail")
+	}
+}
+
+// TestLambertWInverseProperty checks the defining identity W(x)e^{W(x)} = x
+// over the positive reals via testing/quick.
+func TestLambertWInverseProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Abs(raw)
+		if math.IsNaN(x) || math.IsInf(x, 0) || x > 1e100 {
+			return true
+		}
+		w, err := LambertW(x)
+		if err != nil {
+			return false
+		}
+		back := w * math.Exp(w)
+		return math.Abs(back-x) <= 1e-9*(1+x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLambertWNegativeBranch checks the identity on [-1/e, 0).
+func TestLambertWNegativeBranch(t *testing.T) {
+	const invE = 1.0 / math.E
+	for i := 0; i <= 1000; i++ {
+		x := -invE + float64(i)*invE/1000
+		if x >= 0 {
+			break
+		}
+		w, err := LambertW(x)
+		if err != nil {
+			t.Fatalf("LambertW(%v): %v", x, err)
+		}
+		if w < -1-1e-9 {
+			t.Fatalf("LambertW(%v) = %v below principal branch", x, w)
+		}
+		back := w * math.Exp(w)
+		if math.Abs(back-x) > 1e-8 {
+			t.Fatalf("LambertW(%v): identity off, w=%v back=%v", x, w, back)
+		}
+	}
+}
+
+func TestLambertWMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for _, x := range []float64{-0.3, -0.1, 0, 0.5, 1, 2, 5, 10, 100, 1e4, 1e8} {
+		w, err := LambertW(x)
+		if err != nil {
+			t.Fatalf("LambertW(%v): %v", x, err)
+		}
+		if w <= prev {
+			t.Fatalf("LambertW not strictly increasing at x=%v: %v <= %v", x, w, prev)
+		}
+		prev = w
+	}
+}

@@ -1,0 +1,164 @@
+package mathx
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKthSmallestBasic(t *testing.T) {
+	vs := []int{5, 1, 4, 2, 3}
+	for k := 1; k <= 5; k++ {
+		if got := KthSmallest(vs, k); got != k {
+			t.Errorf("KthSmallest(k=%d) = %d, want %d", k, got, k)
+		}
+	}
+	// Input must not be mutated.
+	if !reflect.DeepEqual(vs, []int{5, 1, 4, 2, 3}) {
+		t.Errorf("KthSmallest mutated its input: %v", vs)
+	}
+}
+
+func TestKthSmallestDuplicates(t *testing.T) {
+	vs := []int{3, 3, 3, 3, 103}
+	if got := KthSmallest(vs, 2); got != 3 {
+		t.Errorf("median of paper example = %d, want 3", got)
+	}
+	if got := KthSmallest(vs, 5); got != 103 {
+		t.Errorf("max = %d, want 103", got)
+	}
+}
+
+func TestKthSmallestPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, 4, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("KthSmallest(k=%d) should panic", k)
+				}
+			}()
+			KthSmallest([]int{1, 2, 3}, k)
+		}()
+	}
+}
+
+func TestKthLargest(t *testing.T) {
+	vs := []int{10, 20, 30, 40}
+	if got := KthLargest(vs, 1); got != 40 {
+		t.Errorf("KthLargest(1) = %d, want 40", got)
+	}
+	if got := KthLargest(vs, 4); got != 10 {
+		t.Errorf("KthLargest(4) = %d, want 10", got)
+	}
+}
+
+// TestQuickselectAgainstSort is the core property test: for random
+// slices and ranks, quickselect must agree with full sorting.
+func TestQuickselectAgainstSort(t *testing.T) {
+	f := func(vs []int, rawK int) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		k := AbsInt(rawK)%len(vs) + 1
+		want := append([]int(nil), vs...)
+		sort.Ints(want)
+		return KthSmallest(vs, k) == want[k-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickselectEqualHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		vs := make([]int, n)
+		for i := range vs {
+			vs[i] = rng.Intn(3) // many duplicates
+		}
+		want := append([]int(nil), vs...)
+		sort.Ints(want)
+		k := 1 + rng.Intn(n)
+		if got := KthSmallest(vs, k); got != want[k-1] {
+			t.Fatalf("trial %d: KthSmallest(%d)=%d want %d", trial, k, got, want[k-1])
+		}
+	}
+}
+
+func TestSmallestLargestK(t *testing.T) {
+	vs := []int{9, 1, 8, 2, 7}
+	if got := SmallestK(vs, 3); !reflect.DeepEqual(got, []int{1, 2, 7}) {
+		t.Errorf("SmallestK = %v", got)
+	}
+	if got := LargestK(vs, 2); !reflect.DeepEqual(got, []int{8, 9}) {
+		t.Errorf("LargestK = %v", got)
+	}
+	if got := SmallestK(vs, 10); len(got) != 5 {
+		t.Errorf("SmallestK over-length = %v", got)
+	}
+}
+
+func TestMedianIntsConvention(t *testing.T) {
+	// Odd length: n=5 -> k=2? No: k = n/2 = 2 for n=5 is the paper's
+	// floor convention. Verify against the formula directly.
+	cases := []struct {
+		vs   []int
+		want int
+	}{
+		{[]int{1}, 1},
+		{[]int{1, 2}, 1},          // k = 1
+		{[]int{1, 2, 3}, 1},       // k = ⌊3/2⌋ = 1
+		{[]int{1, 2, 3, 4}, 2},    // k = 2
+		{[]int{5, 5, 5, 9, 9}, 5}, // duplicates
+	}
+	for _, c := range cases {
+		if got := MedianInts(c.vs); got != c.want {
+			t.Errorf("MedianInts(%v) = %d, want %d", c.vs, got, c.want)
+		}
+	}
+}
+
+func TestMinMaxCounts(t *testing.T) {
+	vs := []int{4, -2, 4, 9, 0}
+	mn, mx := MinMaxInts(vs)
+	if mn != -2 || mx != 9 {
+		t.Errorf("MinMaxInts = (%d,%d)", mn, mx)
+	}
+	if CountLess(vs, 4) != 2 {
+		t.Errorf("CountLess(4) = %d, want 2", CountLess(vs, 4))
+	}
+	if CountEqual(vs, 4) != 2 {
+		t.Errorf("CountEqual(4) = %d, want 2", CountEqual(vs, 4))
+	}
+}
+
+func TestRunningStats(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if r.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", r.Mean())
+	}
+	if got := r.Var(); got < 4.56 || got > 4.58 { // 32/7
+		t.Errorf("Var = %v, want ~4.571", got)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestClampCeilDiv(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp misbehaves")
+	}
+	if CeilDiv(10, 3) != 4 || CeilDiv(9, 3) != 3 || CeilDiv(0, 5) != 0 {
+		t.Error("CeilDiv misbehaves")
+	}
+}

@@ -1,0 +1,90 @@
+// Package msg models the link-layer framing used by the simulated
+// sensor network. A logical payload of p bits is carried by
+// ⌈p/PayloadBits⌉ frames, each of which additionally pays HeaderBits of
+// header and footer overhead. The defaults follow the paper's
+// simplified IEEE 802.15.4 setting: 16-byte headers and 128-byte
+// maximum payloads, with two-byte measurements and counters.
+package msg
+
+import "fmt"
+
+// Sizes collects the bit widths of everything a protocol can transmit.
+// The zero value is not useful; start from DefaultSizes.
+type Sizes struct {
+	HeaderBits  int // per-frame header+footer overhead (s_h)
+	PayloadBits int // maximum payload per frame (s_p)
+
+	ValueBits   int // one sensor measurement (s_v)
+	CounterBits int // one aggregate counter
+	BucketBits  int // one histogram bucket count (s_b)
+	IndexBits   int // one bucket/cell index in a compressed histogram
+	BoundBits   int // one interval bound in a refinement request
+}
+
+// DefaultSizes returns the paper's configuration: s_h = 16 bytes,
+// s_p = 128 bytes, two-byte measurements, counters, bucket counts and
+// bounds, and one-byte bucket indices.
+func DefaultSizes() Sizes {
+	return Sizes{
+		HeaderBits:  16 * 8,
+		PayloadBits: 128 * 8,
+		ValueBits:   16,
+		CounterBits: 16,
+		BucketBits:  16,
+		IndexBits:   8,
+		BoundBits:   16,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (s Sizes) Validate() error {
+	if s.HeaderBits <= 0 || s.PayloadBits <= 0 {
+		return fmt.Errorf("msg: header (%d) and payload (%d) bits must be positive", s.HeaderBits, s.PayloadBits)
+	}
+	if s.ValueBits <= 0 || s.CounterBits <= 0 || s.BucketBits <= 0 || s.IndexBits <= 0 || s.BoundBits <= 0 {
+		return fmt.Errorf("msg: all field widths must be positive: %+v", s)
+	}
+	if s.ValueBits > s.PayloadBits {
+		return fmt.Errorf("msg: a single value (%d bits) does not fit the payload (%d bits)", s.ValueBits, s.PayloadBits)
+	}
+	return nil
+}
+
+// Frames returns the number of link-layer frames needed to carry a
+// logical payload of payloadBits bits. A zero or negative payload needs
+// no frames.
+func (s Sizes) Frames(payloadBits int) int {
+	if payloadBits <= 0 {
+		return 0
+	}
+	return (payloadBits + s.PayloadBits - 1) / s.PayloadBits
+}
+
+// WireBits returns the total number of bits on the air for a logical
+// payload of payloadBits bits: the payload itself plus one header per
+// frame.
+func (s Sizes) WireBits(payloadBits int) int {
+	return payloadBits + s.Frames(payloadBits)*s.HeaderBits
+}
+
+// ValuesPerFrame returns how many raw measurements fit into one frame's
+// payload. With the defaults this is 64, the constant the paper uses to
+// decide when direct value retrieval is cheap enough.
+func (s Sizes) ValuesPerFrame() int {
+	return s.PayloadBits / s.ValueBits
+}
+
+// CompressedHistogramBits returns the logical payload size of a
+// histogram transmitted in compressed form: empty buckets are dropped
+// and each of the nonEmpty remaining buckets costs an index plus a
+// count. When the dense encoding (totalBuckets counts, no indices) is
+// smaller, that size is returned instead, mirroring the "choose the
+// cheaper encoding" improvement of [21].
+func (s Sizes) CompressedHistogramBits(nonEmpty, totalBuckets int) int {
+	sparse := nonEmpty * (s.IndexBits + s.BucketBits)
+	dense := totalBuckets * s.BucketBits
+	if dense < sparse {
+		return dense
+	}
+	return sparse
+}

@@ -1,0 +1,105 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSizesValid(t *testing.T) {
+	if err := DefaultSizes().Validate(); err != nil {
+		t.Fatalf("DefaultSizes invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	s := DefaultSizes()
+	s.HeaderBits = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero header accepted")
+	}
+	s = DefaultSizes()
+	s.ValueBits = s.PayloadBits + 1
+	if err := s.Validate(); err == nil {
+		t.Error("oversized value accepted")
+	}
+	s = DefaultSizes()
+	s.IndexBits = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative index width accepted")
+	}
+}
+
+func TestFrames(t *testing.T) {
+	s := DefaultSizes()
+	cases := []struct {
+		bits, want int
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{s.PayloadBits, 1},
+		{s.PayloadBits + 1, 2},
+		{3 * s.PayloadBits, 3},
+	}
+	for _, c := range cases {
+		if got := s.Frames(c.bits); got != c.want {
+			t.Errorf("Frames(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestValuesPerFrameIsPaperConstant(t *testing.T) {
+	// 128-byte payload, 2-byte values: "64 two-byte measurements could
+	// be transmitted" (§5.1.6).
+	if got := DefaultSizes().ValuesPerFrame(); got != 64 {
+		t.Fatalf("ValuesPerFrame = %d, want 64", got)
+	}
+}
+
+// TestWireBitsProperty: wire bits always equal payload plus one header
+// per frame, and the per-frame payload share never exceeds the maximum.
+func TestWireBitsProperty(t *testing.T) {
+	s := DefaultSizes()
+	f := func(raw int16) bool {
+		bits := int(raw)
+		frames := s.Frames(bits)
+		wire := s.WireBits(bits)
+		if bits <= 0 {
+			return frames == 0 && wire == bits
+		}
+		if wire != bits+frames*s.HeaderBits {
+			return false
+		}
+		// frames is the minimum count: one fewer frame cannot carry it.
+		return (frames-1)*s.PayloadBits < bits && bits <= frames*s.PayloadBits
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressedHistogramBits(t *testing.T) {
+	s := DefaultSizes()
+	// 3 non-empty of 64: sparse wins. 64 of 64: dense wins.
+	sparse := s.CompressedHistogramBits(3, 64)
+	if sparse != 3*(s.IndexBits+s.BucketBits) {
+		t.Errorf("sparse encoding = %d bits", sparse)
+	}
+	dense := s.CompressedHistogramBits(64, 64)
+	if dense != 64*s.BucketBits {
+		t.Errorf("dense encoding = %d bits", dense)
+	}
+	// The function must always pick the cheaper encoding.
+	for nonEmpty := 0; nonEmpty <= 64; nonEmpty++ {
+		got := s.CompressedHistogramBits(nonEmpty, 64)
+		sp := nonEmpty * (s.IndexBits + s.BucketBits)
+		de := 64 * s.BucketBits
+		want := sp
+		if de < sp {
+			want = de
+		}
+		if got != want {
+			t.Fatalf("CompressedHistogramBits(%d,64) = %d, want %d", nonEmpty, got, want)
+		}
+	}
+}

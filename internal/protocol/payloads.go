@@ -1,0 +1,115 @@
+package protocol
+
+import "wsnq/internal/msg"
+
+// Request is a broadcast control payload (refinement requests, filter
+// updates). Its size is fixed at construction.
+type Request struct {
+	NBits int
+}
+
+// Bits implements sim.Payload.
+func (r Request) Bits() int { return r.NBits }
+
+// FilterBroadcastBits is the size of a plain filter update: one value.
+func FilterBroadcastBits(s msg.Sizes) int { return s.ValueBits }
+
+// IntervalRequestBits is the size of a refinement request carrying an
+// interval: two bounds.
+func IntervalRequestBits(s msg.Sizes) int { return 2 * s.BoundBits }
+
+// CountedRequestBits is the size of an IQ refinement request: an
+// interval plus the requested count f.
+func CountedRequestBits(s msg.Sizes) int { return 2*s.BoundBits + s.CounterBits }
+
+// Values is a convergecast payload carrying raw measurements (TAG
+// collection, direct retrieval, IQ refinement responses).
+type Values struct {
+	Vals  []int
+	sizes msg.Sizes
+	extra int // non-value bits riding along (e.g. counters)
+}
+
+// NewValues wraps vals in a payload sized at len(vals) measurements
+// plus extraBits of other fields.
+func NewValues(vals []int, sizes msg.Sizes, extraBits int) *Values {
+	return &Values{Vals: vals, sizes: sizes, extra: extraBits}
+}
+
+// Bits implements sim.Payload.
+func (v *Values) Bits() int { return len(v.Vals)*v.sizes.ValueBits + v.extra }
+
+// ValueCount implements sim.ValueCarrier.
+func (v *Values) ValueCount() int { return len(v.Vals) }
+
+// Histogram is a convergecast payload of per-bucket counts, transmitted
+// in whichever of the dense or sparse encodings is smaller.
+type Histogram struct {
+	Counts []int
+	sizes  msg.Sizes
+}
+
+// NewHistogram wraps bucket counts in a payload.
+func NewHistogram(counts []int, sizes msg.Sizes) *Histogram {
+	return &Histogram{Counts: counts, sizes: sizes}
+}
+
+// Bits implements sim.Payload.
+func (h *Histogram) Bits() int {
+	nonEmpty := 0
+	for _, c := range h.Counts {
+		if c != 0 {
+			nonEmpty++
+		}
+	}
+	return h.sizes.CompressedHistogramBits(nonEmpty, len(h.Counts))
+}
+
+// Counters is the validation payload: the four movement counters of
+// POS, the hints, and (for IQ) the multiset A of attached measurements.
+type Counters struct {
+	OutOfL, IntoL int
+	OutOfG, IntoG int
+
+	// Hints: extremes over the new values of region-changing nodes.
+	// HasLo/HasHi report whether any mover contributed.
+	HintLo, HintHi int
+	HasLo, HasHi   bool
+
+	// Attached is IQ's multiset A (values inside Ξ). Nil otherwise.
+	Attached []int
+
+	mode  HintMode
+	sizes msg.Sizes
+}
+
+// Empty reports whether the payload carries no information at all and
+// can therefore be suppressed.
+func (c *Counters) Empty() bool {
+	return c.OutOfL == 0 && c.IntoL == 0 && c.OutOfG == 0 && c.IntoG == 0 &&
+		!c.HasLo && !c.HasHi && len(c.Attached) == 0
+}
+
+// Bits implements sim.Payload: four counters, the hint fields of the
+// configured mode, and the attached values.
+func (c *Counters) Bits() int {
+	return 4*c.sizes.CounterBits + c.mode.Bits(c.sizes.ValueBits) + len(c.Attached)*c.sizes.ValueBits
+}
+
+// ValueCount implements sim.ValueCarrier.
+func (c *Counters) ValueCount() int { return len(c.Attached) }
+
+// merge folds other into c (TAG-style in-network aggregation).
+func (c *Counters) merge(other *Counters) {
+	c.OutOfL += other.OutOfL
+	c.IntoL += other.IntoL
+	c.OutOfG += other.OutOfG
+	c.IntoG += other.IntoG
+	if other.HasLo && (!c.HasLo || other.HintLo < c.HintLo) {
+		c.HintLo, c.HasLo = other.HintLo, true
+	}
+	if other.HasHi && (!c.HasHi || other.HintHi > c.HintHi) {
+		c.HintHi, c.HasHi = other.HintHi, true
+	}
+	c.Attached = append(c.Attached, other.Attached...)
+}

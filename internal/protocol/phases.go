@@ -1,0 +1,245 @@
+package protocol
+
+import (
+	"sort"
+
+	"wsnq/internal/sim"
+)
+
+// HintBoundsAround interprets the hint fields relative to the old
+// filter position, honoring the encoding mode: in HintTwoValues mode
+// the exact extremes are available; in HintMaxDistance mode only a
+// symmetric distance around center is known, which widens the bound
+// but costs one value field less on the air (§5.1.6).
+func (c *Counters) HintBoundsAround(center int) (lo, hi int, hasLo, hasHi bool) {
+	switch c.mode {
+	case HintTwoValues:
+		return c.HintLo, c.HintHi, c.HasLo, c.HasHi
+	case HintMaxDistance:
+		if !c.HasLo && !c.HasHi {
+			return 0, 0, false, false
+		}
+		d := 0
+		if c.HasLo && center-c.HintLo > d {
+			d = center - c.HintLo
+		}
+		if c.HasHi && c.HintHi-center > d {
+			d = c.HintHi - center
+		}
+		return center - d, center + d, true, true
+	default:
+		return 0, 0, false, false
+	}
+}
+
+// ValidationSpec configures the validation convergecast at the start of
+// an update round. All nodes share the filter interval [Lb, Ub).
+type ValidationSpec struct {
+	Lb, Ub int // shared filter interval, point filters are [v, v+1)
+
+	// Prev returns the node's previous-round measurement (node state).
+	Prev func(node int) int
+
+	// Hints selects the hint encoding.
+	Hints HintMode
+
+	// Attach, if non-nil, reports whether a node must ship its current
+	// measurement in the multiset A (IQ's Ξ test).
+	Attach func(node, value int) bool
+}
+
+// RunValidation executes one validation convergecast: every node whose
+// measurement changed its filter region contributes movement counters
+// and hints; nodes matched by Attach additionally ship their values;
+// intermediate nodes aggregate; nodes with nothing to report stay
+// silent. The merged root view is returned (zero-valued if the whole
+// network stayed silent).
+func RunValidation(rt *sim.Runtime, spec ValidationSpec) Counters {
+	sizes := rt.Sizes()
+	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
+		cur := rt.Reading(n)
+		c := &Counters{mode: spec.Hints, sizes: sizes}
+		oldR := Classify(spec.Prev(n), spec.Lb, spec.Ub)
+		newR := Classify(cur, spec.Lb, spec.Ub)
+		if oldR != newR {
+			switch oldR {
+			case RegionLess:
+				c.OutOfL = 1
+			case RegionGreater:
+				c.OutOfG = 1
+			}
+			switch newR {
+			case RegionLess:
+				c.IntoL = 1
+				c.HintLo, c.HasLo = cur, true
+			case RegionGreater:
+				c.IntoG = 1
+				c.HintHi, c.HasHi = cur, true
+			}
+		}
+		if spec.Attach != nil && spec.Attach(n, cur) {
+			c.Attached = append(c.Attached, cur)
+		}
+		for _, ch := range children {
+			c.merge(ch.(*Counters))
+		}
+		if c.Empty() {
+			return nil
+		}
+		return c
+	})
+	root := Counters{mode: spec.Hints, sizes: sizes}
+	for _, p := range atRoot {
+		root.merge(p.(*Counters))
+	}
+	sort.Ints(root.Attached)
+	return root
+}
+
+// Apply updates the root's count state with the movement counters.
+func (s LEG) Apply(c *Counters) LEG {
+	l := s.L - c.OutOfL + c.IntoL
+	g := s.G - c.OutOfG + c.IntoG
+	return LEG{L: l, E: s.N() - l - g, G: g}
+}
+
+// CollectSmallestK is the TAG-style collection: every node merges its
+// measurement with its children's lists and forwards the k smallest.
+// The returned slice holds the (up to k) smallest measurements that
+// reached the root, ascending. Under loss, fewer or other values may
+// arrive; loss-free it is exact.
+func CollectSmallestK(rt *sim.Runtime, k int) []int {
+	sizes := rt.Sizes()
+	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
+		vals := []int{rt.Reading(n)}
+		for _, ch := range children {
+			vals = append(vals, ch.(*Values).Vals...)
+		}
+		sort.Ints(vals)
+		if len(vals) > k {
+			vals = vals[:k]
+		}
+		return NewValues(vals, sizes, 0)
+	})
+	var all []int
+	for _, p := range atRoot {
+		all = append(all, p.(*Values).Vals...)
+	}
+	sort.Ints(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// CollectValuesIn performs a direct-retrieval convergecast: every node
+// with a measurement in the closed interval [lo, hi] ships it; values
+// are concatenated unmodified. The result arrives sorted ascending.
+func CollectValuesIn(rt *sim.Runtime, lo, hi int) []int {
+	sizes := rt.Sizes()
+	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
+		var vals []int
+		if v := rt.Reading(n); v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+		for _, ch := range children {
+			vals = append(vals, ch.(*Values).Vals...)
+		}
+		if len(vals) == 0 {
+			return nil
+		}
+		return NewValues(vals, sizes, 0)
+	})
+	var all []int
+	for _, p := range atRoot {
+		all = append(all, p.(*Values).Vals...)
+	}
+	sort.Ints(all)
+	return all
+}
+
+// CollectExtreme is IQ's refinement response: nodes with a measurement
+// in the closed interval [lo, hi] contribute it, and every aggregating
+// node truncates to the f largest (largest = true) or f smallest
+// values, always keeping values tied with the f-th so the root can
+// resolve duplicates exactly. The result arrives sorted ascending.
+func CollectExtreme(rt *sim.Runtime, lo, hi, f int, largest bool) []int {
+	if f < 0 {
+		f = 0
+	}
+	sizes := rt.Sizes()
+	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
+		var vals []int
+		if v := rt.Reading(n); v >= lo && v <= hi {
+			vals = append(vals, v)
+		}
+		for _, ch := range children {
+			vals = append(vals, ch.(*Values).Vals...)
+		}
+		vals = truncateExtreme(vals, f, largest)
+		if len(vals) == 0 {
+			return nil
+		}
+		return NewValues(vals, sizes, 0)
+	})
+	var all []int
+	for _, p := range atRoot {
+		all = append(all, p.(*Values).Vals...)
+	}
+	all = truncateExtreme(all, f, largest)
+	return all
+}
+
+// truncateExtreme keeps the f largest (or smallest) elements plus any
+// boundary ties, returning them sorted ascending.
+func truncateExtreme(vals []int, f int, largest bool) []int {
+	sort.Ints(vals)
+	if len(vals) <= f {
+		return vals
+	}
+	if f == 0 {
+		return nil
+	}
+	if largest {
+		boundary := vals[len(vals)-f] // f-th largest
+		i := sort.SearchInts(vals, boundary)
+		return vals[i:]
+	}
+	boundary := vals[f-1] // f-th smallest
+	i := sort.SearchInts(vals, boundary+1)
+	return vals[:i]
+}
+
+// CollectHistogram gathers the bucket histogram of all measurements in
+// bu's range: each node inside sorts itself into a bucket, histograms
+// aggregate by vector addition, and only non-empty subtrees transmit.
+func CollectHistogram(rt *sim.Runtime, bu Buckets) []int {
+	sizes := rt.Sizes()
+	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
+		var counts []int
+		if idx, ok := bu.Index(rt.Reading(n)); ok {
+			counts = make([]int, bu.Effective())
+			counts[idx] = 1
+		}
+		for _, ch := range children {
+			h := ch.(*Histogram)
+			if counts == nil {
+				counts = make([]int, bu.Effective())
+			}
+			for i, c := range h.Counts {
+				counts[i] += c
+			}
+		}
+		if counts == nil {
+			return nil
+		}
+		return NewHistogram(counts, sizes)
+	})
+	total := make([]int, bu.Effective())
+	for _, p := range atRoot {
+		for i, c := range p.(*Histogram).Counts {
+			total[i] += c
+		}
+	}
+	return total
+}

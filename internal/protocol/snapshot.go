@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"fmt"
+
+	"wsnq/internal/mathx"
+	"wsnq/internal/sim"
+)
+
+// SnapshotResult is the outcome of a snapshot quantile query: the exact
+// rank-k value and the exact count state around the point filter
+// [Value, Value+1), ready to seed a continuous algorithm.
+type SnapshotResult struct {
+	Value int
+	State LEG
+}
+
+// SnapshotQuantile runs the b-ary histogram search of [21] over the
+// current round's measurements: the root repeatedly broadcasts a
+// refinement interval that nodes histogram into b buckets, descending
+// into the rank-owning bucket until it has unit width, switching to
+// direct value retrieval as soon as the remaining candidates fit into a
+// single frame. It is HBC's initialization and also a complete snapshot
+// algorithm in its own right.
+func SnapshotQuantile(rt *sim.Runtime, k, b int) (SnapshotResult, error) {
+	n := rt.N()
+	if k < 1 || k > n {
+		return SnapshotResult{}, fmt.Errorf("protocol: rank %d out of [1,%d]", k, n)
+	}
+	if b < 2 {
+		return SnapshotResult{}, fmt.Errorf("protocol: bucket count %d must be >= 2", b)
+	}
+	lo, hi := rt.Universe()
+	clo, chi := lo, hi+1 // current half-open candidate interval
+	base := 0            // exact number of measurements below clo
+	inside := n          // exact number of measurements in [clo, chi)
+	perFrame := rt.Sizes().ValuesPerFrame()
+
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			return SnapshotResult{}, fmt.Errorf("protocol: snapshot search did not converge in [%d,%d)", clo, chi)
+		}
+		// Direct retrieval once the candidates fit one frame (the
+		// "nearly empty interval" improvement of [21]).
+		if inside <= perFrame {
+			rt.Broadcast(Request{NBits: IntervalRequestBits(rt.Sizes())}, nil)
+			vals := CollectValuesIn(rt, clo, chi-1)
+			if len(vals) != inside {
+				return SnapshotResult{}, fmt.Errorf("protocol: expected %d candidates in [%d,%d), got %d", inside, clo, chi, len(vals))
+			}
+			q := vals[k-base-1]
+			return SnapshotResult{
+				Value: q,
+				State: legAround(q, base+mathx.CountLess(vals, q), mathx.CountEqual(vals, q), n),
+			}, nil
+		}
+		bu, err := NewBuckets(clo, chi, b)
+		if err != nil {
+			return SnapshotResult{}, err
+		}
+		rt.Broadcast(Request{NBits: IntervalRequestBits(rt.Sizes())}, nil)
+		counts := CollectHistogram(rt, bu)
+		idx, before, err := OwningBucket(counts, k-base)
+		if err != nil {
+			return SnapshotResult{}, fmt.Errorf("protocol: snapshot search in [%d,%d): %w", clo, chi, err)
+		}
+		clo, chi = bu.Bounds(idx)
+		base += before
+		inside = counts[idx]
+		if chi-clo == 1 {
+			return SnapshotResult{
+				Value: clo,
+				State: legAround(clo, base, inside, n),
+			}, nil
+		}
+	}
+}
+
+// legAround assembles an exact LEG for a point filter at value q given
+// the exact below-count and equal-count.
+func legAround(_ int, below, equal, n int) LEG {
+	return LEG{L: below, E: equal, G: n - below - equal}
+}
+
+// OwningBucket locates the bucket containing local rank k (1-based
+// within the histogram) and returns its index plus the number of
+// measurements in the buckets before it.
+func OwningBucket(counts []int, k int) (idx, before int, err error) {
+	cum := 0
+	for i, c := range counts {
+		if cum+c >= k && k > cum {
+			return i, cum, nil
+		}
+		cum += c
+	}
+	return 0, 0, fmt.Errorf("rank %d not covered by histogram total %d", k, cum)
+}
+
+// SnapshotFull is the TAG-style initialization of POS and IQ (§3.2,
+// §4.2.1): every measurement is forwarded to the root, which computes
+// the exact rank-k value, the exact count state, and returns the full
+// ascending value list for further seeding (IQ's Ξ initialization).
+func SnapshotFull(rt *sim.Runtime, k int) (SnapshotResult, []int, error) {
+	n := rt.N()
+	if k < 1 || k > n {
+		return SnapshotResult{}, nil, fmt.Errorf("protocol: rank %d out of [1,%d]", k, n)
+	}
+	vals := CollectSmallestK(rt, n)
+	if len(vals) != n {
+		return SnapshotResult{}, nil, fmt.Errorf("protocol: initialization collected %d of %d values", len(vals), n)
+	}
+	q := vals[k-1]
+	res := SnapshotResult{
+		Value: q,
+		State: legAround(q, mathx.CountLess(vals, q), mathx.CountEqual(vals, q), n),
+	}
+	return res, vals, nil
+}

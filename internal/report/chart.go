@@ -1,0 +1,282 @@
+// Package report renders experiment sweeps as standalone SVG line
+// charts — the literal figures of the paper's evaluation — using only
+// the standard library. One chart holds one metric with one series per
+// algorithm, on linear or logarithmic value axes.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a renderable line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+
+	// Categories, when non-nil, labels the x positions 0..len-1 instead
+	// of using numeric x values (for sweeps like "b=2, b=4, model").
+	Categories []string
+
+	// LogX/LogY switch the axes to base-10 logarithmic scales (all
+	// values must then be positive).
+	LogX, LogY bool
+
+	// Width and Height in pixels; zero values default to 640×420.
+	Width, Height int
+}
+
+// palette holds distinguishable series colors (dark-on-white).
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Validate reports structural problems that would make the chart
+// unrenderable.
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x and %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			if c.LogX && s.X[i] <= 0 {
+				return fmt.Errorf("report: series %q has non-positive x on a log axis", s.Name)
+			}
+			if c.LogY && s.Y[i] <= 0 {
+				return fmt.Errorf("report: series %q has non-positive y on a log axis", s.Name)
+			}
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				return fmt.Errorf("report: series %q has a non-finite point", s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// bounds returns the data extent in (possibly log-transformed) space.
+func (c *Chart) bounds() (x0, x1, y0, y1 float64) {
+	first := true
+	for _, s := range c.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				x = math.Log10(x)
+			}
+			if c.LogY {
+				y = math.Log10(y)
+			}
+			if first {
+				x0, x1, y0, y1 = x, x, y, y
+				first = false
+				continue
+			}
+			x0, x1 = math.Min(x0, x), math.Max(x1, x)
+			y0, y1 = math.Min(y0, y), math.Max(y1, y)
+		}
+	}
+	if x1 == x0 {
+		x1 = x0 + 1
+	}
+	if y1 == y0 {
+		y1 = y0 + 1
+	}
+	// Breathing room on the value axis.
+	pad := (y1 - y0) * 0.08
+	y0 -= pad
+	y1 += pad
+	if c.LogY {
+		return
+	}
+	if y0 > 0 && y0 < (y1-y0)*0.5 {
+		y0 = 0 // anchor near-zero linear axes at zero
+	}
+	return
+}
+
+// niceTicks returns 4-7 round tick values covering [lo, hi].
+func niceTicks(lo, hi float64) []float64 {
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	raw := span / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64, log bool) string {
+	if log {
+		v = math.Pow(10, v)
+	}
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	const (
+		marginL = 64
+		marginR = 130
+		marginT = 40
+		marginB = 52
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+	x0, x1, y0, y1 := c.bounds()
+	if c.Categories != nil {
+		x0, x1 = -0.5, float64(len(c.Categories))-0.5
+	}
+	px := func(x float64) float64 {
+		if c.LogX && c.Categories == nil {
+			x = math.Log10(x)
+		}
+		return marginL + (x-x0)/(x1-x0)*plotW
+	}
+	py := func(y float64) float64 {
+		if c.LogY {
+			y = math.Log10(y)
+		}
+		return marginT + plotH - (y-y0)/(y1-y0)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="22" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Value-axis ticks and grid.
+	for _, tv := range niceTicks(y0, y1) {
+		y := py(fromAxis(tv, c.LogY))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#444">%s</text>`+"\n", marginL-6, y+4, formatTick(tv, c.LogY))
+	}
+	// X ticks.
+	if c.Categories != nil {
+		for i, label := range c.Categories {
+			x := px(float64(i))
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" fill="#444">%s</text>`+"\n", x, marginT+plotH+16, esc(label))
+		}
+	} else {
+		seen := map[float64]bool{}
+		for _, s := range c.Series {
+			for _, x := range s.X {
+				seen[x] = true
+			}
+		}
+		var xs []float64
+		for x := range seen {
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		for _, x := range xs {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="11" text-anchor="middle" fill="#444">%s</text>`+"\n", px(x), marginT+plotH+16, formatTick(axisOf(x, c.LogX), false))
+		}
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="#333"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#333"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle" fill="#222">%s</text>`+"\n", marginL+plotW/2, marginT+plotH+38, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="12" text-anchor="middle" fill="#222" transform="rotate(-90 16 %.1f)">%s</text>`+"\n", marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			x := s.X[i]
+			if c.Categories != nil {
+				x = float64(i)
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n", strings.Join(pts, " "), color)
+		for i := range s.X {
+			x := s.X[i]
+			if c.Categories != nil {
+				x = float64(i)
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(x), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 14 + si*18
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="2"/>`+"\n", marginL+plotW+12, ly-4, marginL+plotW+34, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="12" fill="#222">%s</text>`+"\n", marginL+plotW+40, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// fromAxis maps a tick value in axis space back to data space.
+func fromAxis(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// axisOf maps a data x to the value a tick label should show.
+func axisOf(x float64, log bool) float64 {
+	_ = log
+	return x
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,193 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wsnq/internal/experiment"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "test chart",
+		XLabel: "param",
+		YLabel: "energy [µJ]",
+		Series: []Series{
+			{Name: "IQ", X: []float64{1, 2, 4}, Y: []float64{10, 12, 15}},
+			{Name: "TAG", X: []float64{1, 2, 4}, Y: []float64{50, 55, 80}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleChart().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := sampleChart()
+	c.Series = nil
+	if c.Validate() == nil {
+		t.Error("empty chart accepted")
+	}
+	c = sampleChart()
+	c.Series[0].Y = c.Series[0].Y[:2]
+	if c.Validate() == nil {
+		t.Error("ragged series accepted")
+	}
+	c = sampleChart()
+	c.Series[0].Y[1] = math.NaN()
+	if c.Validate() == nil {
+		t.Error("NaN accepted")
+	}
+	c = sampleChart()
+	c.LogY = true
+	c.Series[0].Y[0] = 0
+	if c.Validate() == nil {
+		t.Error("zero on log axis accepted")
+	}
+}
+
+func TestSVGStructure(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "test chart", "IQ", "TAG",
+		"polyline", "circle", "energy [µJ]", "param",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two polylines, one per series.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	// Six data points.
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("%d circles, want 6", got)
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a < b & "c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a < b & "c"`) {
+		t.Error("unescaped markup in SVG text")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGLogScale(t *testing.T) {
+	c := sampleChart()
+	c.LogY = true
+	c.Series[1].Y = []float64{100, 1000, 10000}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("no svg output")
+	}
+}
+
+func TestSVGCategorical(t *testing.T) {
+	c := sampleChart()
+	c.Categories = []string{"b=2", "b=4", "model"}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"b=2", "b=4", "model"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("categorical label %q missing", want)
+		}
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100)
+	if len(ticks) < 4 || len(ticks) > 8 {
+		t.Errorf("tick count %d for [0,100]: %v", len(ticks), ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Errorf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100.0001 {
+		t.Errorf("ticks out of range: %v", ticks)
+	}
+	// Degenerate span.
+	if got := niceTicks(5, 5); len(got) != 1 {
+		t.Errorf("degenerate ticks: %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"}, {123, "123"}, {1.5, "1.5"}, {20000, "20k"}, {3e6, "3.0M"},
+	}
+	for _, c := range cases {
+		if got := formatTick(c.v, false); got != c.want {
+			t.Errorf("formatTick(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	tbl := &experiment.Table{
+		Title:      "sweep",
+		RowLabel:   "|N|",
+		Variants:   []string{"100", "200"},
+		Algorithms: []string{"IQ", "TAG"},
+		Cells:      map[string]experiment.Metrics{},
+	}
+	// Fill via the exported surface: reconstruct with Sweep-like keys is
+	// internal; use the Cells map convention from the package.
+	set := func(v, a string, e float64) {
+		tbl.Cells[v+"\x00"+a] = experiment.Metrics{MaxNodeEnergyPerRound: e}
+	}
+	set("100", "IQ", 10e-6)
+	set("100", "TAG", 50e-6)
+	set("200", "IQ", 12e-6)
+	set("200", "TAG", 80e-6)
+
+	c, err := FromTable(tbl, experiment.SelMaxEnergy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 2 || c.Categories != nil {
+		t.Fatalf("chart shape wrong: %+v", c)
+	}
+	if c.Series[0].X[1] != 200 {
+		t.Errorf("numeric x = %v", c.Series[0].X)
+	}
+	if math.Abs(c.Series[1].Y[1]-80) > 1e-9 { // µJ scaling applied
+		t.Errorf("scaled y = %v", c.Series[1].Y)
+	}
+
+	// Non-numeric variants become categorical.
+	tbl.Variants = []string{"b=2", "b=4"}
+	set("b=2", "IQ", 1e-6)
+	set("b=4", "IQ", 2e-6)
+	set("b=2", "TAG", 3e-6)
+	set("b=4", "TAG", 4e-6)
+	c, err = FromTable(tbl, experiment.SelMaxEnergy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Categories == nil {
+		t.Error("categorical axis not detected")
+	}
+}

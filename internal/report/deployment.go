@@ -1,0 +1,99 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"wsnq/internal/wsn"
+)
+
+// DeploymentSVG renders a routing tree as a standalone SVG map: sensor
+// nodes as circles shaded by hop depth, tree edges as lines, the sink
+// as a marked square. Virtual (artificial-child) nodes are skipped —
+// they share their host's position.
+func DeploymentSVG(t *wsn.Topology, side float64, pixels int) (string, error) {
+	if t == nil || t.N() == 0 {
+		return "", fmt.Errorf("report: empty topology")
+	}
+	if side <= 0 || pixels <= 0 {
+		return "", fmt.Errorf("report: side %v and pixels %d must be positive", side, pixels)
+	}
+	const margin = 18
+	scale := float64(pixels-2*margin) / side
+	px := func(p wsn.Point) (float64, float64) {
+		return margin + p.X*scale, margin + p.Y*scale
+	}
+	maxDepth := t.MaxDepth()
+	if maxDepth == 0 {
+		maxDepth = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", pixels, pixels, pixels, pixels)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white" stroke="#ccc"/>`+"\n", pixels, pixels)
+
+	// Edges first so nodes draw on top.
+	for i := 0; i < t.N(); i++ {
+		if t.IsVirtual(i) {
+			continue
+		}
+		x1, y1 := px(t.Pos[i])
+		var x2, y2 float64
+		if p := t.Parent[i]; p == -1 {
+			x2, y2 = px(t.Root)
+		} else {
+			x2, y2 = px(t.Pos[p])
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#bbb" stroke-width="0.8"/>`+"\n", x1, y1, x2, y2)
+	}
+	// Nodes shaded by depth: shallow = dark blue, deep = light.
+	for i := 0; i < t.N(); i++ {
+		if t.IsVirtual(i) {
+			continue
+		}
+		x, y := px(t.Pos[i])
+		frac := float64(t.Depth[i]-1) / float64(maxDepth)
+		r, g, bl := blend(31, 119, 180, 214, 230, 245, frac)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="rgb(%d,%d,%d)" stroke="#345" stroke-width="0.5"/>`+"\n", x, y, r, g, bl)
+	}
+	// The sink.
+	x, y := px(t.Root)
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="#d62728" stroke="#600"/>`+"\n", x-5, y-5)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// blend interpolates two RGB colors.
+func blend(r1, g1, b1, r2, g2, b2 int, frac float64) (r, g, b int) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	mix := func(a, b int) int { return a + int(frac*float64(b-a)) }
+	return mix(r1, r2), mix(g1, g2), mix(b1, b2)
+}
+
+// DeploymentDOT renders the routing tree in Graphviz DOT format.
+func DeploymentDOT(t *wsn.Topology) (string, error) {
+	if t == nil || t.N() == 0 {
+		return "", fmt.Errorf("report: empty topology")
+	}
+	var b strings.Builder
+	b.WriteString("digraph wsn {\n  rankdir=TB;\n  node [shape=circle, fontsize=9];\n")
+	b.WriteString("  root [shape=doublecircle, label=\"sink\"];\n")
+	for i := 0; i < t.N(); i++ {
+		attrs := ""
+		if t.IsVirtual(i) {
+			attrs = " [style=dashed]"
+		}
+		if p := t.Parent[i]; p == -1 {
+			fmt.Fprintf(&b, "  n%d -> root%s;\n", i, attrs)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", i, p, attrs)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}

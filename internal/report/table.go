@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strconv"
+
+	"wsnq/internal/experiment"
+)
+
+// FromTable converts one sweep table and metric selector into a chart:
+// one series per algorithm, the swept variants on the x axis. Variant
+// labels that all parse as numbers become a numeric axis; otherwise the
+// chart is categorical.
+func FromTable(t *experiment.Table, sel experiment.MetricSelector, logY bool) (*Chart, error) {
+	numeric := true
+	xs := make([]float64, len(t.Variants))
+	for i, label := range t.Variants {
+		v, err := strconv.ParseFloat(label, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		xs[i] = v
+	}
+
+	c := &Chart{
+		Title:  t.Title,
+		XLabel: t.RowLabel,
+		YLabel: sel.Name + " [" + sel.Unit + "]",
+		LogY:   logY,
+	}
+	if !numeric {
+		c.Categories = append([]string(nil), t.Variants...)
+	}
+	for _, alg := range t.Algorithms {
+		s := Series{Name: alg}
+		for i, variant := range t.Variants {
+			m, ok := t.Cell(variant, alg)
+			if !ok {
+				continue
+			}
+			x := float64(i)
+			if numeric {
+				x = xs[i]
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, sel.Get(m)*sel.Scale)
+		}
+		if len(s.X) > 0 {
+			c.Series = append(c.Series, s)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,348 @@
+// Package sim is the deterministic, round-based simulation engine the
+// quantile protocols run on. It provides the two tree communication
+// primitives every algorithm in the paper is built from — an
+// energy-accounted convergecast (leaves to root) and broadcast (root to
+// leaves) — plus per-round readings, traffic statistics, and optional
+// per-hop loss injection on convergecast data traffic.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsnq/internal/data"
+	"wsnq/internal/energy"
+	"wsnq/internal/mathx"
+	"wsnq/internal/msg"
+	"wsnq/internal/wsn"
+)
+
+// Payload is a logical unit handed from one tree node to the next.
+// Bits reports its encoded size; the engine adds link-layer framing.
+type Payload interface {
+	Bits() int
+}
+
+// ValueCarrier is optionally implemented by payloads that transport raw
+// measurements; the engine uses it for the transmitted-values metric.
+type ValueCarrier interface {
+	ValueCount() int
+}
+
+// Config assembles a simulation run.
+type Config struct {
+	Topology *wsn.Topology
+	Source   data.Source
+	Sizes    msg.Sizes
+	Energy   energy.Params
+
+	// LossProb drops each convergecast hop's payload with this
+	// probability, after the sender has paid for it. Broadcast
+	// (control) traffic is assumed reliable (see DESIGN.md §3).
+	LossProb float64
+
+	// ChargeByDistance charges transmissions by the actual link length
+	// instead of the nominal radio range ρ (the paper's cost function
+	// uses ρ; real radios with power control pay per distance — the
+	// abl-energy study compares the two). Broadcast transmissions pay
+	// for their farthest child.
+	ChargeByDistance bool
+
+	// Seed drives loss sampling. Runs with LossProb = 0 are fully
+	// deterministic regardless of the seed.
+	Seed int64
+}
+
+// Phase labels classify traffic for the cost-anatomy analysis.
+// Algorithms call SetPhase before each protocol stage.
+const (
+	PhaseInit       = "init"       // initialization round
+	PhaseValidation = "validation" // per-round validation convergecast
+	PhaseRefinement = "refinement" // refinement requests and responses
+	PhaseFilter     = "filter"     // filter/threshold broadcasts
+	PhaseCollect    = "collect"    // stateless per-round collection (TAG, summaries)
+	PhaseOther      = "other"      // anything unlabeled
+)
+
+// PhaseStats aggregates the traffic of one protocol phase.
+type PhaseStats struct {
+	Payloads int // logical payload transmissions (per hop)
+	Frames   int // link-layer frames
+	Bits     int // bits on the air, framing included
+	Values   int // raw measurements carried
+}
+
+// Stats aggregates traffic over the lifetime of a Runtime.
+type Stats struct {
+	Convergecasts int // convergecast phases executed
+	Broadcasts    int // broadcast phases executed
+	FramesSent    int // link-layer frames, across all transmissions
+	PayloadsSent  int // logical payload transmissions (per hop)
+	BitsSent      int // total bits on the air, framing included
+	ValuesSent    int // raw measurements carried, per hop
+	PayloadsLost  int // convergecast payloads dropped by loss injection
+
+	// PerPhase attributes the traffic to protocol stages, keyed by the
+	// Phase* labels.
+	PerPhase map[string]PhaseStats
+}
+
+// Runtime is the live simulation state. It is not safe for concurrent
+// use; each goroutine should own its Runtime.
+type Runtime struct {
+	top    *wsn.Topology
+	src    data.Source
+	sizes  msg.Sizes
+	ledger *energy.Ledger
+	loss   float64
+	byDist bool
+	rng    *rand.Rand
+
+	round int
+	phase string
+	stats Stats
+}
+
+// New validates the configuration and builds a Runtime positioned at
+// round 0.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("sim: nil topology")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("sim: nil source")
+	}
+	if cfg.Topology.N() != cfg.Source.Nodes() {
+		return nil, fmt.Errorf("sim: topology has %d nodes, source has %d", cfg.Topology.N(), cfg.Source.Nodes())
+	}
+	if err := cfg.Sizes.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Energy.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return nil, fmt.Errorf("sim: loss probability %v out of [0,1)", cfg.LossProb)
+	}
+	return &Runtime{
+		top:    cfg.Topology,
+		src:    cfg.Source,
+		sizes:  cfg.Sizes,
+		ledger: energy.NewLedger(cfg.Topology.N(), cfg.Energy),
+		loss:   cfg.LossProb,
+		byDist: cfg.ChargeByDistance,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// N returns the number of sensor nodes |N|.
+func (rt *Runtime) N() int { return rt.top.N() }
+
+// Topology returns the routing tree.
+func (rt *Runtime) Topology() *wsn.Topology { return rt.top }
+
+// Sizes returns the link-layer size configuration.
+func (rt *Runtime) Sizes() msg.Sizes { return rt.sizes }
+
+// Ledger returns the energy ledger.
+func (rt *Runtime) Ledger() *energy.Ledger { return rt.ledger }
+
+// Stats returns a snapshot of the traffic statistics. The PerPhase map
+// is shared; treat it as read-only.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// SetPhase labels all subsequent traffic with a protocol stage (one of
+// the Phase* constants, or any caller-chosen string).
+func (rt *Runtime) SetPhase(phase string) { rt.phase = phase }
+
+// Phase returns the current traffic label.
+func (rt *Runtime) Phase() string {
+	if rt.phase == "" {
+		return PhaseOther
+	}
+	return rt.phase
+}
+
+// account books one transmission into the global and per-phase stats.
+func (rt *Runtime) account(wire, frames, values int) {
+	rt.stats.FramesSent += frames
+	rt.stats.PayloadsSent++
+	rt.stats.BitsSent += wire
+	rt.stats.ValuesSent += values
+	if rt.stats.PerPhase == nil {
+		rt.stats.PerPhase = make(map[string]PhaseStats)
+	}
+	ps := rt.stats.PerPhase[rt.Phase()]
+	ps.Payloads++
+	ps.Frames += frames
+	ps.Bits += wire
+	ps.Values += values
+	rt.stats.PerPhase[rt.Phase()] = ps
+}
+
+// Round returns the current round number, starting at 0.
+func (rt *Runtime) Round() int { return rt.round }
+
+// LossProb returns the current per-hop convergecast loss probability.
+func (rt *Runtime) LossProb() float64 { return rt.loss }
+
+// SetLossProb adjusts the loss probability mid-run. Protocol
+// initialization is typically modeled as reliable (acknowledged)
+// transfer, so harnesses disable loss around Init.
+func (rt *Runtime) SetLossProb(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("sim: loss probability %v out of [0,1)", p)
+	}
+	rt.loss = p
+	return nil
+}
+
+// AdvanceRound moves to the next round; subsequent Reading calls see
+// the new measurements.
+func (rt *Runtime) AdvanceRound() { rt.round++ }
+
+// Reading returns node's measurement for the current round.
+func (rt *Runtime) Reading(node int) int { return rt.src.Value(node, rt.round) }
+
+// ReadingAt returns node's measurement at an explicit round.
+func (rt *Runtime) ReadingAt(node, round int) int { return rt.src.Value(node, round) }
+
+// Universe returns the closed integer range of possible measurements.
+func (rt *Runtime) Universe() (lo, hi int) { return rt.src.Universe() }
+
+// Oracle returns the exact rank-k value (1-based) over the current
+// round's measurements, computed centrally with no energy cost. It is
+// the ground truth the protocols are verified against.
+func (rt *Runtime) Oracle(k int) int {
+	vs := make([]int, rt.N())
+	for i := range vs {
+		vs[i] = rt.Reading(i)
+	}
+	return mathx.KthSmallest(vs, k)
+}
+
+// charge accounts one hop: sender pays framing-inclusive transmission,
+// receiver pays reception. A negative receiver is the root (free).
+// Intra-node hops from virtual (artificial-child) senders never touch
+// the radio and are free.
+func (rt *Runtime) charge(sender, receiver int, p Payload) {
+	if rt.top.IsVirtual(sender) {
+		return
+	}
+	bits := p.Bits()
+	wire := rt.sizes.WireBits(bits)
+	rt.ledger.ChargeSend(sender, wire, rt.uplinkRange(sender))
+	rt.ledger.ChargeRecv(receiver, wire)
+	values := 0
+	if vc, ok := p.(ValueCarrier); ok {
+		values = vc.ValueCount()
+	}
+	rt.account(wire, rt.sizes.Frames(bits), values)
+}
+
+// Convergecast runs one bottom-up phase. merge is invoked for every
+// sensor in post-order with the payloads that actually arrived from its
+// children; a nil return means the node stays silent (no transmission,
+// no energy). The payloads that reach the root are returned.
+func (rt *Runtime) Convergecast(merge func(node int, children []Payload) Payload) []Payload {
+	rt.stats.Convergecasts++
+	inbox := make([][]Payload, rt.N())
+	var atRoot []Payload
+	for _, u := range rt.top.PostOrder {
+		p := merge(u, inbox[u])
+		inbox[u] = nil
+		if p == nil {
+			continue
+		}
+		parent := rt.top.Parent[u]
+		rt.charge(u, parent, p)
+		if rt.loss > 0 && rt.rng.Float64() < rt.loss {
+			rt.stats.PayloadsLost++
+			continue
+		}
+		if parent == -1 {
+			atRoot = append(atRoot, p)
+		} else {
+			inbox[parent] = append(inbox[parent], p)
+		}
+	}
+	return atRoot
+}
+
+// Broadcast floods p from the root to every sensor: the root transmits
+// once (free), every sensor receives it from its parent, and every
+// sensor with children retransmits it once. visit, if non-nil, is
+// called for each sensor in top-down order so node-local state can be
+// updated. Broadcasts are reliable.
+func (rt *Runtime) Broadcast(p Payload, visit func(node int)) {
+	rt.stats.Broadcasts++
+	bits := p.Bits()
+	wire := rt.sizes.WireBits(bits)
+	frames := rt.sizes.Frames(bits)
+	vals := 0
+	if vc, ok := p.(ValueCarrier); ok {
+		vals = vc.ValueCount()
+	}
+	// Root transmission (free) reaching its children.
+	rt.account(wire, frames, vals)
+	// Top-down order is the reverse of post-order. Virtual nodes share
+	// their host's radio: they neither pay a reception nor retransmit.
+	for i := len(rt.top.PostOrder) - 1; i >= 0; i-- {
+		u := rt.top.PostOrder[i]
+		if !rt.top.IsVirtual(u) {
+			rt.ledger.ChargeRecv(u, wire)
+			if rt.hasRadioChildren(u) {
+				rt.ledger.ChargeSend(u, wire, rt.downlinkRange(u))
+				rt.account(wire, frames, vals)
+			}
+		}
+		if visit != nil {
+			visit(u)
+		}
+	}
+}
+
+// uplinkRange returns the transmission range a convergecast hop from u
+// is charged for: the nominal radio range, or the actual link length
+// under distance-based charging.
+func (rt *Runtime) uplinkRange(u int) float64 {
+	if !rt.byDist {
+		return rt.top.Range
+	}
+	p := rt.top.Parent[u]
+	if p == -1 {
+		return rt.top.Pos[u].Dist(rt.top.Root)
+	}
+	return rt.top.Pos[u].Dist(rt.top.Pos[p])
+}
+
+// downlinkRange returns the transmission range a broadcast hop from u
+// is charged for: the nominal range, or (with distance-based charging)
+// the distance to u's farthest non-virtual child, which the single
+// wireless transmission must reach.
+func (rt *Runtime) downlinkRange(u int) float64 {
+	if !rt.byDist {
+		return rt.top.Range
+	}
+	maxD := 0.0
+	for _, c := range rt.top.Children[u] {
+		if rt.top.IsVirtual(c) {
+			continue
+		}
+		if d := rt.top.Pos[u].Dist(rt.top.Pos[c]); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// hasRadioChildren reports whether node u must retransmit a broadcast,
+// i.e. has at least one non-virtual child.
+func (rt *Runtime) hasRadioChildren(u int) bool {
+	for _, c := range rt.top.Children[u] {
+		if !rt.top.IsVirtual(c) {
+			return true
+		}
+	}
+	return false
+}

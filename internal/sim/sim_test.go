@@ -1,0 +1,294 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"wsnq/internal/data"
+	"wsnq/internal/energy"
+	"wsnq/internal/msg"
+	"wsnq/internal/wsn"
+)
+
+// testPayload is a minimal payload carrying a value list for tests.
+type testPayload struct {
+	bits int
+	vals []int
+}
+
+func (p *testPayload) Bits() int       { return p.bits }
+func (p *testPayload) ValueCount() int { return len(p.vals) }
+
+// chainRuntime builds a 3-node chain root <- 0 <- 1 <- 2 with readings
+// 10, 20, 30 that never change.
+func chainRuntime(t *testing.T, loss float64) *Runtime {
+	t.Helper()
+	pos := []wsn.Point{{X: 10}, {X: 20}, {X: 30}}
+	top, err := wsn.BuildTree(pos, wsn.Point{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := data.NewTrace([][]int{{10}, {20}, {30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{
+		Topology: top,
+		Source:   tr,
+		Sizes:    msg.DefaultSizes(),
+		Energy:   energy.DefaultParams(),
+		LossProb: loss,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestNewValidation(t *testing.T) {
+	pos := []wsn.Point{{X: 10}}
+	top, _ := wsn.BuildTree(pos, wsn.Point{}, 12)
+	tr, _ := data.NewTrace([][]int{{1}})
+	twoTr, _ := data.NewTrace([][]int{{1}, {2}})
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil topology", Config{Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
+		{"nil source", Config{Topology: top, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
+		{"node mismatch", Config{Topology: top, Source: twoTr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
+		{"bad sizes", Config{Topology: top, Source: tr, Energy: energy.DefaultParams()}},
+		{"bad energy", Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes()}},
+		{"bad loss", Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams(), LossProb: 1.5}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestConvergecastDeliveryAndEnergy(t *testing.T) {
+	rt := chainRuntime(t, 0)
+	// Leaf (2) starts a payload; each node appends its reading.
+	atRoot := rt.Convergecast(func(n int, children []Payload) Payload {
+		vals := []int{rt.Reading(n)}
+		for _, c := range children {
+			vals = append(vals, c.(*testPayload).vals...)
+		}
+		return &testPayload{bits: 16 * len(vals), vals: vals}
+	})
+	if len(atRoot) != 1 {
+		t.Fatalf("root received %d payloads", len(atRoot))
+	}
+	got := atRoot[0].(*testPayload).vals
+	sort.Ints(got)
+	if len(got) != 3 || got[0] != 10 || got[2] != 30 {
+		t.Fatalf("root values = %v", got)
+	}
+
+	// Energy: node 2 sends 16 bits (+1 header), node 1 receives that and
+	// sends 32 bits, node 0 receives and sends 48 bits; the root's
+	// reception is free.
+	sz := rt.Sizes()
+	ep := rt.Ledger().Params()
+	w16 := sz.WireBits(16)
+	w32 := sz.WireBits(32)
+	w48 := sz.WireBits(48)
+	want2 := ep.SendCost(w16, rt.Topology().Range)
+	want1 := ep.RecvCost(w16) + ep.SendCost(w32, rt.Topology().Range)
+	want0 := ep.RecvCost(w32) + ep.SendCost(w48, rt.Topology().Range)
+	for i, want := range []float64{want0, want1, want2} {
+		if got := rt.Ledger().Spent(i); math.Abs(got-want) > 1e-15 {
+			t.Errorf("node %d spent %v, want %v", i, got, want)
+		}
+	}
+	st := rt.Stats()
+	if st.PayloadsSent != 3 || st.ValuesSent != 6 { // 1+2+3 values over hops
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestConvergecastSilence(t *testing.T) {
+	rt := chainRuntime(t, 0)
+	atRoot := rt.Convergecast(func(n int, children []Payload) Payload { return nil })
+	if len(atRoot) != 0 {
+		t.Fatal("silent convergecast delivered payloads")
+	}
+	if rt.Ledger().TotalSpent() != 0 {
+		t.Fatal("silence cost energy")
+	}
+	if rt.Stats().Convergecasts != 1 {
+		t.Fatal("phase not counted")
+	}
+}
+
+func TestBroadcastEnergyAndOrder(t *testing.T) {
+	rt := chainRuntime(t, 0)
+	var order []int
+	rt.Broadcast(&testPayload{bits: 16}, func(n int) { order = append(order, n) })
+	// Top-down: parents before children.
+	pos := map[int]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if len(order) != 3 || pos[0] > pos[1] || pos[1] > pos[2] {
+		t.Fatalf("visit order = %v", order)
+	}
+	sz := rt.Sizes()
+	ep := rt.Ledger().Params()
+	w := sz.WireBits(16)
+	// Nodes 0 and 1 have children: recv + send. Node 2 is a leaf: recv.
+	for i, want := range []float64{
+		ep.RecvCost(w) + ep.SendCost(w, rt.Topology().Range),
+		ep.RecvCost(w) + ep.SendCost(w, rt.Topology().Range),
+		ep.RecvCost(w),
+	} {
+		if got := rt.Ledger().Spent(i); math.Abs(got-want) > 1e-15 {
+			t.Errorf("node %d spent %v, want %v", i, got, want)
+		}
+	}
+	if rt.Stats().Broadcasts != 1 {
+		t.Error("broadcast not counted")
+	}
+	// 3 transmissions: root, node 0, node 1.
+	if rt.Stats().PayloadsSent != 3 {
+		t.Errorf("PayloadsSent = %d, want 3", rt.Stats().PayloadsSent)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	// With 90% loss on a 3-hop chain, the root almost never hears the
+	// leaf; with 0% it always does.
+	lossy := chainRuntime(t, 0.9)
+	lost := 0
+	for trial := 0; trial < 50; trial++ {
+		atRoot := lossy.Convergecast(func(n int, children []Payload) Payload {
+			return &testPayload{bits: 16}
+		})
+		if len(atRoot) == 0 {
+			lost++
+		}
+	}
+	if lost < 30 {
+		t.Errorf("only %d/50 convergecasts fully lost at 90%% loss", lost)
+	}
+	if lossy.Stats().PayloadsLost == 0 {
+		t.Error("no losses recorded")
+	}
+	clean := chainRuntime(t, 0)
+	atRoot := clean.Convergecast(func(n int, children []Payload) Payload {
+		return &testPayload{bits: 16}
+	})
+	if len(atRoot) != 1 || clean.Stats().PayloadsLost != 0 {
+		t.Error("loss-free run dropped payloads")
+	}
+}
+
+func TestOracleAndRounds(t *testing.T) {
+	tr, _ := data.NewTrace([][]int{{5, 50}, {1, 10}, {9, 90}})
+	pos := []wsn.Point{{X: 10}, {X: 20}, {X: 30}}
+	top, _ := wsn.BuildTree(pos, wsn.Point{}, 12)
+	rt, err := New(Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Oracle(1) != 1 || rt.Oracle(2) != 5 || rt.Oracle(3) != 9 {
+		t.Error("oracle wrong at round 0")
+	}
+	rt.AdvanceRound()
+	if rt.Round() != 1 {
+		t.Error("round did not advance")
+	}
+	if rt.Oracle(2) != 50 {
+		t.Errorf("oracle at round 1 = %d", rt.Oracle(2))
+	}
+	if rt.Reading(0) != 50 || rt.ReadingAt(0, 0) != 5 {
+		t.Error("readings wrong")
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	rt := chainRuntime(t, 0)
+	rt.SetPhase(PhaseValidation)
+	rt.Convergecast(func(n int, children []Payload) Payload {
+		return &testPayload{bits: 16}
+	})
+	rt.SetPhase(PhaseFilter)
+	rt.Broadcast(&testPayload{bits: 16}, nil)
+
+	st := rt.Stats()
+	val := st.PerPhase[PhaseValidation]
+	fil := st.PerPhase[PhaseFilter]
+	if val.Payloads != 3 { // three convergecast hops
+		t.Errorf("validation payloads = %d, want 3", val.Payloads)
+	}
+	if fil.Payloads != 3 { // root + two forwarding nodes
+		t.Errorf("filter payloads = %d, want 3", fil.Payloads)
+	}
+	if val.Bits+fil.Bits != st.BitsSent {
+		t.Errorf("phase bits %d+%d != total %d", val.Bits, fil.Bits, st.BitsSent)
+	}
+	if rt.Phase() != PhaseFilter {
+		t.Errorf("current phase = %q", rt.Phase())
+	}
+}
+
+func TestPhaseDefaultsToOther(t *testing.T) {
+	rt := chainRuntime(t, 0)
+	if rt.Phase() != PhaseOther {
+		t.Errorf("unlabeled phase = %q", rt.Phase())
+	}
+	rt.Broadcast(&testPayload{bits: 16}, nil)
+	if rt.Stats().PerPhase[PhaseOther].Bits == 0 {
+		t.Error("unlabeled traffic not attributed to 'other'")
+	}
+}
+
+func TestVirtualNodesAreFree(t *testing.T) {
+	// Chain root <- 0 <- 1 <- 2 expanded with one virtual child each.
+	pos := []wsn.Point{{X: 10}, {X: 20}, {X: 30}}
+	top, err := wsn.BuildTree(pos, wsn.Point{}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := wsn.ExpandVirtual(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := data.NewTrace([][]int{{10}, {20}, {30}, {11}, {21}, {31}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{Topology: ex, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node (virtual included) transmits in the convergecast; only
+	// the three radio hops cost energy and appear in the statistics.
+	rt.Convergecast(func(n int, children []Payload) Payload {
+		return &testPayload{bits: 16}
+	})
+	if got := rt.Stats().PayloadsSent; got != 3 {
+		t.Errorf("radio payloads = %d, want 3 (virtual hops are free)", got)
+	}
+	for i := 3; i < 6; i++ {
+		if rt.Ledger().Spent(i) != 0 {
+			t.Errorf("virtual node %d charged %v", i, rt.Ledger().Spent(i))
+		}
+	}
+	// Broadcast: virtual nodes neither receive nor retransmit.
+	before := rt.Ledger().TotalSpent()
+	bits := rt.Stats().BitsSent
+	rt.Broadcast(&testPayload{bits: 16}, nil)
+	_ = before
+	// Radio transmissions: root + nodes 0 and 1 (node 2's only child is
+	// virtual).
+	if got := rt.Stats().PayloadsSent; got != 3+3 {
+		t.Errorf("broadcast payloads = %d, want 3", got-3)
+	}
+	_ = bits
+}

@@ -1,0 +1,67 @@
+package wsn
+
+import "fmt"
+
+// ExpandVirtual models nodes that take valuesPerNode measurements per
+// round, using the paper's reduction (§2): each real node gains
+// valuesPerNode−1 artificial leaf children co-located with it, whose
+// links are intra-node and therefore free. Real nodes keep their ids
+// 0..N−1; the artificial child j (1-based) of real node i gets id
+// N + i·(valuesPerNode−1) + (j−1).
+func ExpandVirtual(t *Topology, valuesPerNode int) (*Topology, error) {
+	if valuesPerNode < 1 {
+		return nil, fmt.Errorf("wsn: values per node %d must be >= 1", valuesPerNode)
+	}
+	if valuesPerNode == 1 {
+		return t, nil
+	}
+	if t.VirtualEdge != nil {
+		return nil, fmt.Errorf("wsn: topology already has virtual nodes")
+	}
+	n := t.N()
+	extra := valuesPerNode - 1
+	total := n * valuesPerNode
+
+	out := &Topology{
+		Pos:          make([]Point, total),
+		Root:         t.Root,
+		Range:        t.Range,
+		Parent:       make([]int, total),
+		Children:     make([][]int, total),
+		RootChildren: append([]int(nil), t.RootChildren...),
+		Depth:        make([]int, total),
+		VirtualEdge:  make([]bool, total),
+	}
+	copy(out.Pos, t.Pos)
+	copy(out.Parent, t.Parent)
+	copy(out.Depth, t.Depth)
+	for i := 0; i < n; i++ {
+		out.Children[i] = append([]int(nil), t.Children[i]...)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < extra; j++ {
+			id := n + i*extra + j
+			out.Pos[id] = t.Pos[i]
+			out.Parent[id] = i
+			out.Depth[id] = t.Depth[i] + 1
+			out.VirtualEdge[id] = true
+			out.Children[i] = append(out.Children[i], id)
+		}
+	}
+	// Rebuild the post-order over the expanded tree.
+	out.PostOrder = make([]int, 0, total)
+	var visit func(u int)
+	visit = func(u int) {
+		for _, c := range out.Children[u] {
+			visit(c)
+		}
+		out.PostOrder = append(out.PostOrder, u)
+	}
+	for _, c := range out.RootChildren {
+		visit(c)
+	}
+	if len(out.PostOrder) != total {
+		return nil, fmt.Errorf("wsn: internal error: expanded tree covers %d of %d nodes", len(out.PostOrder), total)
+	}
+	return out, nil
+}

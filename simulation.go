@@ -1,0 +1,129 @@
+package wsnq
+
+import (
+	"fmt"
+
+	"wsnq/internal/core"
+	"wsnq/internal/experiment"
+	"wsnq/internal/protocol"
+	"wsnq/internal/sim"
+)
+
+// Simulation drives a single deployment round by round, for live
+// monitoring, visualization, or custom metrics. It wraps one run of the
+// configured study (Runs is ignored; use Run for averaged studies).
+type Simulation struct {
+	rt    *sim.Runtime
+	alg   protocol.Algorithm
+	k     int
+	round int
+	init  bool
+}
+
+// RoundResult reports one simulation round.
+type RoundResult struct {
+	Round    int // round number, starting at 0 (the initialization round)
+	Quantile int // the algorithm's answer
+	Oracle   int // the true rank-k value (centrally computed, free)
+
+	// Cumulative network statistics up to and including this round.
+	TotalEnergy   float64 // joules across all nodes
+	HotspotEnergy float64 // joules consumed by the hottest node
+	BitsSent      int
+	ValuesSent    int
+	FramesSent    int
+	Convergecasts int // convergecast phases executed
+	Broadcasts    int // broadcast phases executed
+}
+
+// NewSimulation assembles one deployment (run index 0 of cfg) with the
+// given algorithm. Step must be called to execute rounds.
+func NewSimulation(cfg Config, alg Algorithm) (*Simulation, error) {
+	icfg, err := cfg.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	f, err := factory(alg)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := experiment.BuildRuntime(icfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{rt: rt, alg: f(), k: icfg.K()}, nil
+}
+
+// K returns the queried rank.
+func (s *Simulation) K() int { return s.k }
+
+// N returns the number of sensor nodes.
+func (s *Simulation) N() int { return s.rt.N() }
+
+// Universe returns the assumed integer measurement range.
+func (s *Simulation) Universe() (lo, hi int) { return s.rt.Universe() }
+
+// AlgorithmName returns the running algorithm's display name.
+func (s *Simulation) AlgorithmName() string { return s.alg.Name() }
+
+// Step executes the next round (the first call runs initialization) and
+// reports the result.
+func (s *Simulation) Step() (RoundResult, error) {
+	var (
+		q   int
+		err error
+	)
+	if !s.init {
+		q, err = s.alg.Init(s.rt, s.k)
+		s.init = true
+	} else {
+		s.rt.AdvanceRound()
+		s.round++
+		q, err = s.alg.Step(s.rt)
+	}
+	if err != nil {
+		return RoundResult{}, fmt.Errorf("round %d: %w", s.round, err)
+	}
+	st := s.rt.Stats()
+	_, hotspot := s.rt.Ledger().MaxSpent()
+	return RoundResult{
+		Round:         s.round,
+		Quantile:      q,
+		Oracle:        s.rt.Oracle(s.k),
+		TotalEnergy:   s.rt.Ledger().TotalSpent(),
+		HotspotEnergy: hotspot,
+		BitsSent:      st.BitsSent,
+		ValuesSent:    st.ValuesSent,
+		FramesSent:    st.FramesSent,
+		Convergecasts: st.Convergecasts,
+		Broadcasts:    st.Broadcasts,
+	}, nil
+}
+
+// NodeEnergy returns the cumulative consumption of one node in joules.
+func (s *Simulation) NodeEnergy(node int) float64 { return s.rt.Ledger().Spent(node) }
+
+// Exhausted reports whether some node has consumed its entire budget.
+func (s *Simulation) Exhausted() bool { return s.rt.Ledger().Exhausted() }
+
+// Readings returns the current round's measurements (centrally read,
+// free — intended for visualization).
+func (s *Simulation) Readings() []int {
+	out := make([]int, s.rt.N())
+	for i := range out {
+		out[i] = s.rt.Reading(i)
+	}
+	return out
+}
+
+// IQState exposes IQ's adaptive interval for visualization (Figure 4):
+// the filter v^{t-1} and the offsets ξ_l, ξ_r. ok is false when the
+// simulation does not run IQ.
+func (s *Simulation) IQState() (filter, xiL, xiR int, ok bool) {
+	iq, isIQ := s.alg.(*core.IQ)
+	if !isIQ {
+		return 0, 0, 0, false
+	}
+	xiL, xiR = iq.Xi()
+	return iq.Filter(), xiL, xiR, true
+}

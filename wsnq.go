@@ -1,0 +1,375 @@
+// Package wsnq is a simulation library for exact continuous quantile
+// query processing in hierarchical wireless sensor networks,
+// reproducing Niedermayer et al., "Continuous Quantile Query Processing
+// in Wireless Sensor Networks" (EDBT 2014).
+//
+// It provides the paper's two contributions — HBC, a histogram-based
+// continuous algorithm whose bucket count is chosen by a Lambert-W cost
+// model, and IQ, an interval-based heuristic that exploits temporal
+// correlation to answer most rounds with a single convergecast — along
+// with the evaluated baselines (TAG, POS, and the two LCLL refinement
+// variants), a deterministic energy-accounted network simulator, the
+// paper's synthetic and air-pressure workloads, and the full benchmark
+// harness regenerating every figure of the evaluation section.
+//
+// Quick start:
+//
+//	cfg := wsnq.DefaultConfig()
+//	cfg.Nodes = 200
+//	m, err := wsnq.Run(cfg, wsnq.IQ)
+//	// m.MaxNodeEnergyPerRound, m.LifetimeRounds, ...
+//
+// For round-by-round control (live monitoring, custom metrics), use
+// NewSimulation. For the paper's evaluation sweeps, use the Figure API
+// (Figures, RunFigure) or `go test -bench .`.
+package wsnq
+
+import (
+	"fmt"
+	"io"
+
+	"wsnq/internal/baseline"
+	"wsnq/internal/core"
+	"wsnq/internal/data"
+	"wsnq/internal/energy"
+	"wsnq/internal/experiment"
+	"wsnq/internal/msg"
+	"wsnq/internal/protocol"
+)
+
+// Algorithm names a quantile protocol.
+type Algorithm string
+
+// The available algorithms.
+const (
+	// TAG is the collect-k in-network aggregation baseline [17].
+	TAG Algorithm = "TAG"
+	// POS is the continuous binary-search algorithm of Cox et al. [9].
+	POS Algorithm = "POS"
+	// LCLLH is Liu et al.'s histogram algorithm with hierarchical
+	// (recursive zoom) refining [16].
+	LCLLH Algorithm = "LCLL-H"
+	// LCLLS is the same with slip (sliding window) refining.
+	LCLLS Algorithm = "LCLL-S"
+	// HBC is the paper's Histogram-Based Continuous algorithm (§4.1).
+	HBC Algorithm = "HBC"
+	// HBCNB is HBC with the §4.1.2 threshold-broadcast elimination.
+	HBCNB Algorithm = "HBC-NB"
+	// IQ is the paper's Interval-based Quantiles heuristic (§4.2).
+	IQ Algorithm = "IQ"
+	// Adaptive switches between IQ and HBC at runtime (§4.2 future work).
+	Adaptive Algorithm = "ADAPT"
+)
+
+// Algorithms lists every available algorithm in the paper's order.
+func Algorithms() []Algorithm {
+	return []Algorithm{TAG, POS, LCLLH, LCLLS, HBC, HBCNB, IQ, Adaptive}
+}
+
+// StandardAlgorithms lists the §5.1.6 evaluation line-up.
+func StandardAlgorithms() []Algorithm {
+	return []Algorithm{TAG, POS, LCLLH, LCLLS, HBC, IQ}
+}
+
+// factory returns the constructor for an algorithm name.
+func factory(a Algorithm) (experiment.Factory, error) {
+	switch a {
+	case TAG:
+		return func() protocol.Algorithm { return baseline.NewTAG() }, nil
+	case POS:
+		return func() protocol.Algorithm { return baseline.NewPOS(baseline.DefaultPOSOptions()) }, nil
+	case LCLLH:
+		return func() protocol.Algorithm { return baseline.NewLCLL(baseline.DefaultLCLLOptions(false)) }, nil
+	case LCLLS:
+		return func() protocol.Algorithm { return baseline.NewLCLL(baseline.DefaultLCLLOptions(true)) }, nil
+	case HBC:
+		return func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) }, nil
+	case HBCNB:
+		return func() protocol.Algorithm {
+			opts := core.DefaultHBCOptions()
+			opts.NoThresholdBroadcast = true
+			opts.DirectRetrieval = false
+			return core.NewHBC(opts)
+		}, nil
+	case IQ:
+		return func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }, nil
+	case Adaptive:
+		return func() protocol.Algorithm { return core.NewAdaptive(core.DefaultAdaptiveOptions()) }, nil
+	default:
+		return nil, fmt.Errorf("wsnq: unknown algorithm %q", a)
+	}
+}
+
+// DatasetKind selects the measurement workload.
+type DatasetKind string
+
+// The two evaluation workloads of §5.1.
+const (
+	// SyntheticData is the interpolated-noise field with sinusoidal
+	// drift (§5.1.2).
+	SyntheticData DatasetKind = "synthetic"
+	// PressureData is the air-pressure trace set with SOM placement
+	// (§5.1.3).
+	PressureData DatasetKind = "pressure"
+	// TraceData runs user-supplied measurement series (one per
+	// measurement), placed like the pressure dataset.
+	TraceData DatasetKind = "trace"
+)
+
+// Dataset configures the workload.
+type Dataset struct {
+	Kind DatasetKind
+
+	// Synthetic parameters.
+	Universe      int     // distinct integer values (default 2^16)
+	Period        int     // sinusoid period τ in rounds (default 63)
+	NoisePct      float64 // per-node noise ψ in percent (default 10)
+	AmplitudeFrac float64 // sinusoid amplitude as a universe fraction
+	SpreadFrac    float64 // central universe fraction holding the values (default 1)
+
+	// Pressure parameters.
+	Skip        int  // keep every Skip-th sample (default 1)
+	Pessimistic bool // universe [856, 1086] hPa instead of observed
+
+	// Series supplies the measurements for TraceData: one integer
+	// series per measurement (Nodes·ValuesPerNode series of equal
+	// length). Rounds beyond the series length wrap around. See
+	// ReadTraceCSV for loading them from a file.
+	Series [][]int
+	// UniverseLo/UniverseHi optionally widen the assumed value range of
+	// TraceData beyond the observed one (both zero = observed range).
+	UniverseLo, UniverseHi int
+}
+
+// Config assembles a simulation study (defaults follow §5.1.7).
+type Config struct {
+	Nodes      int     // number of sensor nodes |N|
+	Area       float64 // deployment region side in meters
+	RadioRange float64 // radio range ρ in meters
+	Phi        float64 // quantile fraction φ (0.5 = median)
+	Rounds     int     // measured rounds per run
+	Runs       int     // independent simulation runs to average
+	Seed       int64   // base seed (runs derive distinct seeds)
+	LossProb   float64 // per-hop convergecast loss probability
+
+	// ValuesPerNode models nodes that take several measurements per
+	// round, via the paper's artificial-children reduction (§2).
+	// Default 1. The quantile then ranges over all |N|·ValuesPerNode
+	// measurements.
+	ValuesPerNode int
+
+	// BFSTree switches the routing tree from the paper's Euclidean
+	// shortest-path tree to a hop-count (BFS) tree.
+	BFSTree bool
+
+	Dataset Dataset
+}
+
+// DefaultConfig returns the paper's default cell: 500 nodes in a
+// 200×200 m region, ρ = 35 m, the median query, 250 rounds × 20 runs,
+// synthetic data with τ = 63 and ψ = 10 %.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:      500,
+		Area:       200,
+		RadioRange: 35,
+		Phi:        0.5,
+		Rounds:     250,
+		Runs:       20,
+		Seed:       1,
+		Dataset: Dataset{
+			Kind:     SyntheticData,
+			Universe: 1 << 16,
+			Period:   63,
+			NoisePct: 10,
+		},
+	}
+}
+
+// toInternal converts the public configuration to the harness form.
+func (c Config) toInternal() (experiment.Config, error) {
+	cfg := experiment.Default()
+	cfg.Nodes = c.Nodes
+	cfg.Area = c.Area
+	cfg.RadioRange = c.RadioRange
+	cfg.Phi = c.Phi
+	cfg.Rounds = c.Rounds
+	cfg.Runs = c.Runs
+	cfg.Seed = c.Seed
+	cfg.LossProb = c.LossProb
+	cfg.ValuesPerNode = c.ValuesPerNode
+	if c.BFSTree {
+		cfg.Tree = experiment.TreeBFS
+	}
+	switch c.Dataset.Kind {
+	case SyntheticData, "":
+		cfg.Dataset = experiment.DatasetSpec{
+			Kind: experiment.Synthetic,
+			Synthetic: data.SyntheticConfig{
+				Universe:      c.Dataset.Universe,
+				Period:        c.Dataset.Period,
+				NoisePct:      c.Dataset.NoisePct,
+				AmplitudeFrac: c.Dataset.AmplitudeFrac,
+				SpreadFrac:    c.Dataset.SpreadFrac,
+			},
+		}
+		if cfg.Dataset.Synthetic.Universe == 0 {
+			cfg.Dataset.Synthetic.Universe = 1 << 16
+		}
+		if cfg.Dataset.Synthetic.Period == 0 {
+			cfg.Dataset.Synthetic.Period = 63
+		}
+	case PressureData:
+		cfg.Dataset = experiment.DatasetSpec{
+			Kind:        experiment.Pressure,
+			Skip:        c.Dataset.Skip,
+			Pessimistic: c.Dataset.Pessimistic,
+		}
+	case TraceData:
+		tr, err := data.NewTrace(c.Dataset.Series)
+		if err != nil {
+			return experiment.Config{}, err
+		}
+		if c.Dataset.UniverseLo != 0 || c.Dataset.UniverseHi != 0 {
+			if err := tr.SetUniverse(c.Dataset.UniverseLo, c.Dataset.UniverseHi); err != nil {
+				return experiment.Config{}, err
+			}
+		}
+		cfg.Dataset = experiment.DatasetSpec{
+			Kind:  experiment.UserTrace,
+			Skip:  c.Dataset.Skip,
+			Trace: tr,
+		}
+	default:
+		return experiment.Config{}, fmt.Errorf("wsnq: unknown dataset kind %q", c.Dataset.Kind)
+	}
+	if err := cfg.Validate(); err != nil {
+		return experiment.Config{}, err
+	}
+	return cfg, nil
+}
+
+// K returns the queried rank k = max(1, ⌊φ·|N|⌋).
+func (c Config) K() int {
+	cfg, err := c.toInternal()
+	if err != nil {
+		k := int(c.Phi * float64(c.Nodes))
+		if k < 1 {
+			k = 1
+		}
+		return k
+	}
+	return cfg.K()
+}
+
+// Metrics reports one algorithm's averaged results.
+type Metrics struct {
+	// MaxNodeEnergyPerRound is the hottest node's energy consumption
+	// per round in joules — the paper's first headline metric.
+	MaxNodeEnergyPerRound float64
+	// LifetimeRounds is the network lifetime in rounds (first node
+	// death) — the second headline metric.
+	LifetimeRounds float64
+	// TotalEnergy is the network-wide consumption per run in joules.
+	TotalEnergy float64
+	// ValuesPerRound counts raw measurements transported per round.
+	ValuesPerRound float64
+	// FramesPerRound counts link-layer frames per round.
+	FramesPerRound float64
+	// BitsPerRound counts bits on the air per round.
+	BitsPerRound float64
+	// ExactRounds and Rounds report answer exactness (all rounds are
+	// exact without loss injection).
+	ExactRounds, Rounds int
+	// MeanRankError is the mean distance of the reported value's rank
+	// from k (0 without loss injection).
+	MeanRankError float64
+	// PhaseBitsPerRound attributes the per-round traffic to protocol
+	// stages ("init", "validation", "refinement", "filter", "collect").
+	PhaseBitsPerRound map[string]float64
+	// EnergyGini is the Gini coefficient of per-node energy drain
+	// (0 = perfectly even).
+	EnergyGini float64
+	// HotspotToMedianRatio compares the hottest node's drain with the
+	// median node's.
+	HotspotToMedianRatio float64
+	// Reinits counts loss-triggered re-initializations.
+	Reinits int
+}
+
+func fromInternal(m experiment.Metrics) Metrics {
+	return Metrics{
+		MaxNodeEnergyPerRound: m.MaxNodeEnergyPerRound,
+		LifetimeRounds:        m.LifetimeRounds,
+		TotalEnergy:           m.TotalEnergy,
+		ValuesPerRound:        m.ValuesPerRound,
+		FramesPerRound:        m.FramesPerRound,
+		BitsPerRound:          m.BitsPerRound,
+		ExactRounds:           m.ExactRounds,
+		Rounds:                m.Rounds,
+		MeanRankError:         m.MeanRankError,
+		Reinits:               m.Reinits,
+		EnergyGini:            m.EnergyGini,
+		HotspotToMedianRatio:  m.HotspotToMedianRatio,
+		PhaseBitsPerRound:     m.PhaseBitsPerRound,
+	}
+}
+
+// Run executes the configured study for one algorithm and returns the
+// metrics averaged over all runs.
+func Run(cfg Config, alg Algorithm) (Metrics, error) {
+	icfg, err := cfg.toInternal()
+	if err != nil {
+		return Metrics{}, err
+	}
+	f, err := factory(alg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m, err := experiment.Run(icfg, f)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return fromInternal(m), nil
+}
+
+// Compare runs several algorithms on identical deployments (same seeds,
+// same topologies, same measurements) and returns their metrics.
+func Compare(cfg Config, algs []Algorithm) (map[Algorithm]Metrics, error) {
+	out := make(map[Algorithm]Metrics, len(algs))
+	for _, a := range algs {
+		m, err := Run(cfg, a)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a, err)
+		}
+		out[a] = m
+	}
+	return out, nil
+}
+
+// ReadTraceCSV loads measurement series for TraceData from CSV: one
+// comma-separated integer series per line, '#' comments and blank lines
+// ignored.
+func ReadTraceCSV(r io.Reader) ([][]int, error) {
+	tr, err := data.ReadTracesCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int, tr.Nodes())
+	for i := range out {
+		row := make([]int, tr.Rounds())
+		for j := range row {
+			row[j] = tr.Value(i, j)
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// DefaultSizes exposes the link-layer framing defaults (16-byte header,
+// 128-byte payload, two-byte values) used by all simulations.
+func DefaultSizes() msg.Sizes { return msg.DefaultSizes() }
+
+// DefaultEnergy exposes the radio energy model defaults (50 nJ/bit
+// send/receive base cost, 10 pJ/bit/m², 30 mJ budget).
+func DefaultEnergy() energy.Params { return energy.DefaultParams() }
