@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test check bench race vet fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate every change must pass: static analysis plus the
+# full suite under the race detector (the parallel engine makes this
+# the interesting configuration).
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchmem .
+
+fmt:
+	gofmt -l -w .

@@ -26,13 +26,24 @@ func benchScale() float64 {
 	return 0.1
 }
 
+// benchParallelism reads the engine worker bound (default 0 = one per
+// CPU; set WSNQ_BENCH_PAR=1 to reproduce the old sequential timings).
+func benchParallelism() int {
+	if s := os.Getenv("WSNQ_BENCH_PAR"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v >= 0 {
+			return v
+		}
+	}
+	return 0
+}
+
 // benchFigure runs one figure sweep per iteration and logs its tables.
 func benchFigure(b *testing.B, id string, metrics ...string) {
 	b.Helper()
 	if len(metrics) == 0 {
 		metrics = []string{MetricEnergy, MetricLifetime}
 	}
-	opts := FigureOptions{Scale: benchScale()}
+	opts := FigureOptions{Scale: benchScale(), Parallelism: benchParallelism()}
 	var tables []*Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -167,6 +178,29 @@ func BenchmarkAblHBCVariants(b *testing.B) { benchFigure(b, "abl-hbcnb", MetricE
 
 // BenchmarkAblIQWindow sweeps IQ's trend-window length m and ξ seeding.
 func BenchmarkAblIQWindow(b *testing.B) { benchFigure(b, "abl-xi", MetricEnergy) }
+
+// benchCompare times a Runs=20 comparison of the §5.1.6 line-up on
+// shared deployments at the given parallelism.
+func benchCompare(b *testing.B, parallelism int) {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = 200
+	cfg.Rounds = 100
+	cfg.Runs = 20
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(cfg, StandardAlgorithms(), WithParallelism(parallelism)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompareSequential is the engine's speedup baseline: the
+// Runs=20 standard comparison forced onto a single worker.
+func BenchmarkCompareSequential(b *testing.B) { benchCompare(b, 1) }
+
+// BenchmarkCompareParallel is the same comparison with one worker per
+// CPU; the ratio to BenchmarkCompareSequential is the engine speedup.
+func BenchmarkCompareParallel(b *testing.B) { benchCompare(b, 0) }
 
 // --- micro-benchmarks: per-round protocol cost in the simulator ---
 

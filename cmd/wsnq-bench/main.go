@@ -6,18 +6,24 @@
 //
 //	wsnq-bench -fig fig7 -scale 0.2
 //	wsnq-bench -fig all -metric energy,lifetime
+//	wsnq-bench -fig fig6 -scale 1 -par 8 -progress
 //	wsnq-bench -list
 //
 // Scale 1.0 is the paper's full 20 runs × 250 rounds; the default 0.1
-// reproduces the shapes in seconds.
+// reproduces the shapes in seconds. Sweeps run on the parallel engine
+// (one worker per CPU unless -par says otherwise) and can be aborted
+// with Ctrl-C.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"wsnq"
@@ -25,16 +31,21 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure id (see -list) or 'all'")
-		scale   = flag.Float64("scale", 0.1, "fraction of the paper's 20 runs × 250 rounds")
-		metrics = flag.String("metric", "energy,lifetime", "comma-separated metrics: energy, lifetime, values, frames, rankerror")
-		nodes   = flag.Int("nodes", 0, "override the default node count of non-|N| sweeps")
-		seed    = flag.Int64("seed", 0, "override the base seed")
-		list    = flag.Bool("list", false, "list available figures and exit")
-		svgDir  = flag.String("svg", "", "also write one SVG chart per (table, metric) into this directory")
-		logY    = flag.Bool("logy", false, "logarithmic value axis in SVG charts")
+		fig      = flag.String("fig", "all", "figure id (see -list) or 'all'")
+		scale    = flag.Float64("scale", 0.1, "fraction of the paper's 20 runs × 250 rounds")
+		metrics  = flag.String("metric", "energy,lifetime", "comma-separated metrics: energy, lifetime, values, frames, rankerror")
+		nodes    = flag.Int("nodes", 0, "override the default node count of non-|N| sweeps")
+		seed     = flag.Int64("seed", 0, "override the base seed")
+		list     = flag.Bool("list", false, "list available figures and exit")
+		svgDir   = flag.String("svg", "", "also write one SVG chart per (table, metric) into this directory")
+		logY     = flag.Bool("logy", false, "logarithmic value axis in SVG charts")
+		par      = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
+		progress = flag.Bool("progress", false, "report sweep progress on stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *list {
 		for _, f := range wsnq.Figures() {
@@ -53,11 +64,19 @@ func main() {
 	}
 	sels := strings.Split(*metrics, ",")
 
-	opts := wsnq.FigureOptions{Scale: *scale, Nodes: *nodes, Seed: *seed}
+	opts := wsnq.FigureOptions{Scale: *scale, Nodes: *nodes, Seed: *seed, Parallelism: *par}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d jobs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
-		tables, err := wsnq.RunFigure(id, opts)
+		tables, err := wsnq.RunFigureContext(ctx, id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wsnq-bench: %s: %v\n", id, err)
 			os.Exit(1)

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"wsnq"
 )
@@ -37,8 +40,13 @@ func main() {
 
 		algsFlag = flag.String("alg", "all", "comma-separated algorithms or 'all' (TAG, POS, LCLL-H, LCLL-S, HBC, HBC-NB, IQ, ADAPT)")
 		anatomy  = flag.Bool("anatomy", false, "also print the per-phase traffic breakdown (cost anatomy)")
+		par      = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
+		progress = flag.Bool("progress", false, "report engine progress on stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := wsnq.Config{
 		Nodes: *nodes, Area: *area, RadioRange: *radioRange,
@@ -70,16 +78,30 @@ func main() {
 
 	fmt.Printf("|N|=%d  ρ=%.0fm  φ=%.2f (k=%d)  %d rounds × %d runs  dataset=%s\n\n",
 		cfg.Nodes, cfg.RadioRange, cfg.Phi, cfg.K(), cfg.Rounds, cfg.Runs, *dataset)
+
+	// One CompareContext call shares each run's deployment across all
+	// requested algorithms and fans the grid out over the worker pool.
+	opts := []wsnq.Option{wsnq.WithParallelism(*par)}
+	if *progress {
+		opts = append(opts, wsnq.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rwsnq-sim: %d/%d jobs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	results, err := wsnq.CompareContext(ctx, cfg, algs, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
+		os.Exit(1)
+	}
+
 	fmt.Printf("%-8s %14s %12s %14s %12s %12s %10s\n",
 		"alg", "energy[µJ/rnd]", "lifetime", "values/round", "frames/rnd", "exact", "rank err")
-	for _, a := range algs {
-		m, err := wsnq.Run(cfg, a)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsnq-sim: %s: %v\n", a, err)
-			os.Exit(1)
-		}
+	for _, r := range results {
+		m := r.Metrics
 		fmt.Printf("%-8s %14.1f %12.0f %14.1f %12.1f %9d/%d %10.2f\n",
-			a, m.MaxNodeEnergyPerRound*1e6, m.LifetimeRounds,
+			r.Algorithm, m.MaxNodeEnergyPerRound*1e6, m.LifetimeRounds,
 			m.ValuesPerRound, m.FramesPerRound, m.ExactRounds, m.Rounds, m.MeanRankError)
 		if *anatomy {
 			printAnatomy(m)

@@ -12,13 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"sort"
 
-	"wsnq/internal/data"
+	"wsnq/internal/experiment"
 	"wsnq/internal/report"
-	"wsnq/internal/som"
 	"wsnq/internal/wsn"
 )
 
@@ -64,42 +62,34 @@ func main() {
 	}
 }
 
-// build assembles a deployment like the experiment harness does.
+// build assembles run 0's deployment through the same
+// experiment.BuildDeployment path the harness uses, so the inspected
+// topology is exactly the one a simulation with these parameters runs
+// on.
 func build(dataset string, nodes int, area, radioRange float64, seed int64, bfs bool) (*wsn.Topology, error) {
-	buildTree := wsn.BuildTree
+	cfg := experiment.Default()
+	cfg.Nodes = nodes
+	cfg.Area = area
+	cfg.RadioRange = radioRange
+	cfg.Seed = seed
+	cfg.Rounds = 1 // keeps the pressure trace short; the tree ignores it
+	cfg.Runs = 1
 	if bfs {
-		buildTree = wsn.BuildTreeBFS
+		cfg.Tree = experiment.TreeBFS
 	}
-	rng := rand.New(rand.NewSource(seed))
 	switch dataset {
 	case "synthetic":
-		for attempt := 0; attempt < 50; attempt++ {
-			pos := wsn.RandomPlacement(nodes, area, rng)
-			root := wsn.Point{X: rng.Float64() * area, Y: rng.Float64() * area}
-			if top, err := buildTree(pos, root, radioRange); err == nil {
-				return top, nil
-			}
-		}
-		return nil, fmt.Errorf("no connected placement at ρ=%v", radioRange)
+		// experiment.Default is the synthetic cell already.
 	case "pressure":
-		tr, err := data.NewPressureTrace(data.PressureConfig{Nodes: nodes, Rounds: 4, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		for _, spread := range []float64{1, 1.5, 2, 3, 4, 6} {
-			pos, err := som.PlaceByFirstValue(tr.FirstValues(), area, som.Config{}, rng)
-			if err != nil {
-				return nil, err
-			}
-			_ = spread
-			if top, err := buildTree(pos, pos[rng.Intn(len(pos))], radioRange); err == nil {
-				return top, nil
-			}
-		}
-		return nil, fmt.Errorf("SOM placement not connected at ρ=%v", radioRange)
+		cfg.Dataset = experiment.DatasetSpec{Kind: experiment.Pressure}
 	default:
 		return nil, fmt.Errorf("unknown dataset %q", dataset)
 	}
+	dep, err := experiment.BuildDeployment(cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	return dep.Topology(), nil
 }
 
 // printStats reports the structural properties that drive the hotspot

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"wsnq"
 )
@@ -25,6 +28,9 @@ func main() {
 		format = flag.String("format", "csv", "csv or ascii")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := wsnq.DefaultConfig()
 	cfg.Nodes = *nodes
@@ -44,6 +50,10 @@ func main() {
 	}
 	prevConv := 0
 	for t := 0; t < *rounds; t++ {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-trace: interrupted")
+			return
+		}
 		res, err := s.Step()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)

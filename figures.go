@@ -1,6 +1,7 @@
 package wsnq
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,7 +45,8 @@ func Figures() []Figure {
 	}
 }
 
-// FigureOptions scales a figure reproduction.
+// FigureOptions scales a figure reproduction and tunes the engine
+// executing it.
 type FigureOptions struct {
 	// Scale multiplies the paper's runs (20) and rounds (250); 1 is the
 	// full paper scale, the default 0.1 gives a quick but shape-faithful
@@ -55,6 +57,19 @@ type FigureOptions struct {
 	Nodes int
 	// Seed overrides the base seed.
 	Seed int64
+	// Parallelism bounds the engine's worker pool, as in
+	// WithParallelism; 0 uses one worker per CPU, 1 runs sequentially.
+	// Results are bit-identical at every setting.
+	Parallelism int
+	// Progress is called after each completed (cell × algorithm × run)
+	// job of the figure's sweep, as in WithProgress. Figures that run
+	// several sweeps (fig10, abl-tree, abl-energy) restart the count for
+	// each sweep table.
+	Progress func(done, total int)
+}
+
+func (o *FigureOptions) engine() experiment.Options {
+	return experiment.Options{Parallelism: o.Parallelism, Progress: o.Progress}
 }
 
 func (o *FigureOptions) apply(cfg *experiment.Config) {
@@ -237,11 +252,22 @@ func fromExpTable(t *experiment.Table) *Table {
 }
 
 // RunFigure reproduces one artifact and returns its result tables
-// (fig10 returns two: optimistic and pessimistic scaling).
+// (fig10 returns two: optimistic and pessimistic scaling). It delegates
+// to RunFigureContext with a background context.
 func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
+	return RunFigureContext(context.Background(), id, opts)
+}
+
+// RunFigureContext reproduces one artifact on the parallel engine. Its
+// sweep cells, algorithms, and runs fan out over the worker pool;
+// cancelling the context aborts the remaining work.
+func RunFigureContext(ctx context.Context, id string, opts FigureOptions) ([]*Table, error) {
 	base := experiment.Default()
 	opts.apply(&base)
 	algs := experiment.StandardAlgorithms()
+	sweep := func(cfg experiment.Config, title, rowLabel string, variants []experiment.Variant, lineup []experiment.NamedFactory) (*experiment.Table, error) {
+		return experiment.SweepContext(ctx, cfg, title, rowLabel, variants, lineup, opts.engine())
+	}
 
 	intVariants := func(field func(*experiment.Config, int), vals ...int) []experiment.Variant {
 		out := make([]experiment.Variant, len(vals))
@@ -257,19 +283,19 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 
 	switch id {
 	case "fig6":
-		t, err := experiment.Sweep(base, "Figure 6: synthetic dataset", "|N|",
+		t, err := sweep(base, "Figure 6: synthetic dataset", "|N|",
 			intVariants(func(c *experiment.Config, v int) { c.Nodes = v }, 125, 250, 500, 1000, 2000), algs)
 		return wrap(t, err)
 	case "fig7":
-		t, err := experiment.Sweep(base, "Figure 7: synthetic dataset", "period",
+		t, err := sweep(base, "Figure 7: synthetic dataset", "period",
 			intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 125, 63, 32, 8), algs)
 		return wrap(t, err)
 	case "fig8":
-		t, err := experiment.Sweep(base, "Figure 8: synthetic dataset", "noise%",
+		t, err := sweep(base, "Figure 8: synthetic dataset", "noise%",
 			intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.NoisePct = float64(v) }, 0, 5, 10, 20, 50), algs)
 		return wrap(t, err)
 	case "fig9":
-		t, err := experiment.Sweep(base, "Figure 9: synthetic dataset", "range[m]",
+		t, err := sweep(base, "Figure 9: synthetic dataset", "range[m]",
 			intVariants(func(c *experiment.Config, v int) { c.RadioRange = float64(v) }, 15, 35, 60, 85), algs)
 		return wrap(t, err)
 	case "fig10":
@@ -281,7 +307,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 			if pess {
 				name = "pessimistic"
 			}
-			t, err := experiment.Sweep(cfg, "Figure 10: air pressure ("+name+" scaling)", "skip",
+			t, err := sweep(cfg, "Figure 10: air pressure ("+name+" scaling)", "skip",
 				intVariants(func(c *experiment.Config, v int) { c.Dataset.Skip = v }, 1, 2, 4, 8, 16), algs)
 			if err != nil {
 				return nil, err
@@ -290,7 +316,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 		}
 		return out, nil
 	case "loss":
-		t, err := experiment.Sweep(base, "Extension: per-hop message loss", "loss%",
+		t, err := sweep(base, "Extension: per-hop message loss", "loss%",
 			intVariants(func(c *experiment.Config, v int) { c.LossProb = float64(v) / 100 }, 0, 1, 5, 10),
 			experiment.ContinuousAlgorithms())
 		return wrap(t, err)
@@ -303,7 +329,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 			{Name: "SMPL10", New: func() protocol.Algorithm { return approx.NewSample(0.10) }},
 			{Name: "SMPL50", New: func() protocol.Algorithm { return approx.NewSample(0.50) }},
 		}
-		t, err := experiment.Sweep(base, "Extension: exact refinement vs bounded-error summaries", "period",
+		t, err := sweep(base, "Extension: exact refinement vs bounded-error summaries", "period",
 			intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 63, 8), lineup)
 		return wrap(t, err)
 	case "ext-snapshot":
@@ -313,7 +339,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 			{Name: "SNAP", New: func() protocol.Algorithm { return baseline.NewRepeatedSnapshot(0) }},
 			{Name: "SNAP-b2", New: func() protocol.Algorithm { return baseline.NewRepeatedSnapshot(2) }},
 		}
-		t, err := experiment.Sweep(base, "Extension: continuous state vs repeated snapshots", "period",
+		t, err := sweep(base, "Extension: continuous state vs repeated snapshots", "period",
 			intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 63, 8), lineup)
 		return wrap(t, err)
 	case "abl-energy":
@@ -325,7 +351,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 			if byDist {
 				name = "actual link distance"
 			}
-			t, err := experiment.Sweep(cfg, "Ablation: energy charging ("+name+")", "period",
+			t, err := sweep(cfg, "Ablation: energy charging ("+name+")", "period",
 				intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 63, 8), algs)
 			if err != nil {
 				return nil, err
@@ -356,7 +382,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 			{Name: "HBC", New: func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) }},
 			{Name: "LCLL-S", New: func() protocol.Algorithm { return baseline.NewLCLL(baseline.DefaultLCLLOptions(true)) }},
 		}
-		t, err := experiment.Sweep(cfg, "Ablation: value density (τ=8)", "spread", variants, lineup)
+		t, err := sweep(cfg, "Ablation: value density (τ=8)", "spread", variants, lineup)
 		return wrap(t, err)
 	case "abl-hints":
 		lineup := []experiment.NamedFactory{
@@ -376,7 +402,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 				return core.NewIQ(opts)
 			}},
 		}
-		t, err := experiment.Sweep(base, "Ablation: hint encodings (§5.1.6)", "noise%",
+		t, err := sweep(base, "Ablation: hint encodings (§5.1.6)", "noise%",
 			intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.NoisePct = float64(v) }, 0, 10, 50), lineup)
 		return wrap(t, err)
 	case "abl-tree":
@@ -388,7 +414,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 			if tree == experiment.TreeBFS {
 				name = "hop-count BFS"
 			}
-			t, err := experiment.Sweep(cfg, "Ablation: routing tree ("+name+")", "period",
+			t, err := sweep(cfg, "Ablation: routing tree ("+name+")", "period",
 				intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 63, 8), algs)
 			if err != nil {
 				return nil, err
@@ -410,12 +436,12 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 				return core.NewHBC(opts)
 			}})
 		}
-		t, err := experiment.Sweep(base, "Ablation: HBC bucket count", "period",
+		t, err := sweep(base, "Ablation: HBC bucket count", "period",
 			intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 63, 8), hbcs)
 		return wrap(t, err)
 	case "abl-hbcnb":
 		variants := intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 125, 63, 32, 8)
-		t, err := experiment.Sweep(base, "Ablation: HBC vs HBC-NB (§4.1.2)", "period", variants,
+		t, err := sweep(base, "Ablation: HBC vs HBC-NB (§4.1.2)", "period", variants,
 			[]experiment.NamedFactory{
 				{Name: "HBC", New: func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) }},
 				{Name: "HBC-NB", New: func() protocol.Algorithm {
@@ -441,7 +467,7 @@ func RunFigure(id string, opts FigureOptions) ([]*Table, error) {
 			opts.InitMedianGap = true
 			return core.NewIQ(opts)
 		}})
-		t, err := experiment.Sweep(base, "Ablation: IQ trend window and ξ seeding", "period",
+		t, err := sweep(base, "Ablation: IQ trend window and ξ seeding", "period",
 			intVariants(func(c *experiment.Config, v int) { c.Dataset.Synthetic.Period = v }, 250, 63, 8), iqs)
 		return wrap(t, err)
 	default:

@@ -1,0 +1,255 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Options configures the execution engine shared by RunContext,
+// CompareContext, and SweepContext.
+type Options struct {
+	// Parallelism bounds the number of simulation runs executing
+	// concurrently. 0 (the default) uses runtime.GOMAXPROCS(0); 1
+	// forces strictly sequential execution. Per-run seeds are derived
+	// from Config.Seed alone, runs are aggregated in run order, and
+	// deployments are immutable, so results are bit-identical at every
+	// setting.
+	Parallelism int
+
+	// Progress, when non-nil, is called after each completed grid job
+	// (one algorithm over one run of one sweep cell) with the number of
+	// finished and total jobs. Calls are serialized and done increases
+	// by one per call, so it is safe to drive a progress bar from any
+	// goroutine-unsafe writer.
+	Progress func(done, total int)
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunContext executes the cell for one algorithm and averages over
+// cfg.Runs, fanning the runs out over the engine's worker pool. The
+// factory is invoked once per run, possibly from concurrent goroutines,
+// and must return a fresh instance each time. The context cancels the
+// remaining runs; the first error (or ctx.Err()) is returned.
+func RunContext(ctx context.Context, cfg Config, factory Factory, opts Options) (Metrics, error) {
+	res, err := runGrid(ctx, []Config{cfg}, nil, []NamedFactory{{New: factory}}, opts)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return res[0][0], nil
+}
+
+// CompareContext runs several algorithms over cfg and returns their
+// metrics in the order of algs. All algorithms of one run execute
+// against the same shared Deployment — identical topology, SOM
+// placement, and measurement series — which the engine builds exactly
+// once per run; this makes the "identical deployments" guarantee of a
+// comparison structural rather than a property of seed re-derivation.
+func CompareContext(ctx context.Context, cfg Config, algs []NamedFactory, opts Options) ([]Metrics, error) {
+	res, err := runGrid(ctx, []Config{cfg}, nil, algs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// SweepContext runs every (variant × algorithm × run) cell of a sweep
+// on the engine's worker pool and collects a Table. Deployments are
+// shared across the algorithms of each (variant, run) pair.
+func SweepContext(ctx context.Context, base Config, title, rowLabel string, variants []Variant, algs []NamedFactory, opts Options) (*Table, error) {
+	t := &Table{
+		Title:    title,
+		RowLabel: rowLabel,
+		Cells:    make(map[string]Metrics),
+	}
+	for _, a := range algs {
+		t.Algorithms = append(t.Algorithms, a.Name)
+	}
+	cfgs := make([]Config, len(variants))
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		t.Variants = append(t.Variants, v.Label)
+		labels[i] = v.Label
+		cfg := base
+		if v.Mutate != nil {
+			v.Mutate(&cfg)
+		}
+		cfgs[i] = cfg
+	}
+	res, err := runGrid(ctx, cfgs, labels, algs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", title, err)
+	}
+	for ci, v := range labels {
+		for ai, a := range algs {
+			t.Cells[cellKey(v, a.Name)] = res[ci][ai]
+		}
+	}
+	return t, nil
+}
+
+// Sweep runs every (variant × algorithm) cell and collects a Table. It
+// delegates to SweepContext with default engine options.
+func Sweep(base Config, title, rowLabel string, variants []Variant, algs []NamedFactory) (*Table, error) {
+	return SweepContext(context.Background(), base, title, rowLabel, variants, algs, Options{})
+}
+
+// depSlot lazily builds the shared deployment of one (cell, run) pair.
+// Whichever algorithm job gets there first builds it; the others reuse
+// the result read-only.
+type depSlot struct {
+	once sync.Once
+	dep  *Deployment
+	err  error
+}
+
+func (s *depSlot) get(cfg Config, run int) (*Deployment, error) {
+	s.once.Do(func() { s.dep, s.err = BuildDeployment(cfg, run) })
+	return s.dep, s.err
+}
+
+// gridJob is one unit of the fan-out: one algorithm over one run of one
+// cell. idx is the job's rank in the deterministic cell-major order,
+// used to pick a stable error when several jobs fail.
+type gridJob struct {
+	cell, alg, run, idx int
+}
+
+// runGrid executes the full (cell × algorithm × run) grid on a bounded
+// worker pool and returns the per-cell, per-algorithm metrics averaged
+// over runs. Scheduling never influences the numbers: per-run results
+// land in run-indexed slots and are reduced in run order. On failure
+// the engine cancels the remaining jobs and returns the error of the
+// earliest failed job in grid order (when several jobs fail, which of
+// them executed first can depend on scheduling).
+func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []NamedFactory, opts Options) ([][]Metrics, error) {
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	jobs := make([]gridJob, 0, len(cfgs)*len(algs))
+	perRun := make([][][][]Metrics, len(cfgs)) // [cell][alg][run]
+	deps := make([][]depSlot, len(cfgs))       // [cell][run]
+	for ci := range cfgs {
+		perRun[ci] = make([][][]Metrics, len(algs))
+		deps[ci] = make([]depSlot, cfgs[ci].Runs)
+		for ai := range algs {
+			perRun[ci][ai] = make([][]Metrics, cfgs[ci].Runs)
+			for r := 0; r < cfgs[ci].Runs; r++ {
+				jobs = append(jobs, gridJob{cell: ci, alg: ai, run: r, idx: len(jobs)})
+			}
+		}
+	}
+	total := len(jobs)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		errIdx   = total
+	)
+	fail := func(idx int, err error) {
+		mu.Lock()
+		if idx < errIdx {
+			errIdx, firstErr = idx, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finish := func() {
+		mu.Lock()
+		done++
+		if opts.Progress != nil {
+			opts.Progress(done, total)
+		}
+		mu.Unlock()
+	}
+
+	run := func(j gridJob) {
+		defer finish()
+		if ctx.Err() != nil {
+			return // canceled; leave the slot empty
+		}
+		cfg := cfgs[j.cell]
+		dep, err := deps[j.cell][j.run].get(cfg, j.run)
+		if err == nil {
+			var m Metrics
+			m, err = runOn(cfg, dep, algs[j.alg].New())
+			if err == nil {
+				perRun[j.cell][j.alg][j.run] = []Metrics{m}
+				return
+			}
+		}
+		prefix := ""
+		if cellLabels != nil {
+			prefix = cellLabels[j.cell] + " / "
+		}
+		if algs[j.alg].Name != "" {
+			prefix += algs[j.alg].Name + " / "
+		}
+		fail(j.idx, fmt.Errorf("%srun %d: %w", prefix, j.run, err))
+	}
+
+	workers := opts.workers()
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			run(j)
+		}
+	} else {
+		ch := make(chan gridJob)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for j := range ch {
+					run(j)
+				}
+			}()
+		}
+		for _, j := range jobs {
+			ch <- j
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([][]Metrics, len(cfgs))
+	for ci := range cfgs {
+		out[ci] = make([]Metrics, len(algs))
+		for ai := range algs {
+			runs := make([]Metrics, cfgs[ci].Runs)
+			for r, slot := range perRun[ci][ai] {
+				runs[r] = slot[0]
+			}
+			out[ci][ai] = aggregate(runs)
+		}
+	}
+	return out, nil
+}

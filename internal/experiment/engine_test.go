@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wsnq/internal/baseline"
+	"wsnq/internal/core"
+	"wsnq/internal/protocol"
+	"wsnq/internal/sim"
+	"wsnq/internal/wsn"
+)
+
+// topologyRecorder is a trivial algorithm that records which topology
+// each of its runs executed on, so tests can verify deployment sharing.
+type topologyRecorder struct {
+	mu   *sync.Mutex
+	seen *[]*wsn.Topology
+}
+
+func (t *topologyRecorder) Name() string { return "REC" }
+
+func (t *topologyRecorder) Init(rt *sim.Runtime, k int) (int, error) {
+	t.mu.Lock()
+	*t.seen = append(*t.seen, rt.Topology())
+	t.mu.Unlock()
+	return rt.Oracle(k), nil
+}
+
+func (t *topologyRecorder) Step(rt *sim.Runtime) (int, error) {
+	return rt.Oracle(1), nil
+}
+
+// TestCompareSharesDeployments verifies the engine's structural
+// identical-deployment guarantee: every algorithm of a comparison runs
+// on the very same topology object per run (not merely an equal one),
+// while different runs get different deployments.
+func TestCompareSharesDeployments(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Rounds = 2
+	cfg.Runs = 3
+
+	var mu sync.Mutex
+	tops := make([][]*wsn.Topology, 2)
+	algs := make([]NamedFactory, 2)
+	for i := range algs {
+		i := i
+		algs[i] = NamedFactory{
+			Name: "REC",
+			New: func() protocol.Algorithm {
+				return &topologyRecorder{mu: &mu, seen: &tops[i]}
+			},
+		}
+	}
+
+	if _, err := CompareContext(context.Background(), cfg, algs, Options{Parallelism: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tops {
+		if len(tops[i]) != cfg.Runs {
+			t.Fatalf("algorithm %d saw %d topologies, want %d", i, len(tops[i]), cfg.Runs)
+		}
+	}
+	// Same run → same *wsn.Topology across algorithms. The recorder
+	// appends concurrently, so match by set membership per algorithm.
+	set := func(ts []*wsn.Topology) map[*wsn.Topology]bool {
+		m := make(map[*wsn.Topology]bool)
+		for _, tp := range ts {
+			m[tp] = true
+		}
+		return m
+	}
+	s0, s1 := set(tops[0]), set(tops[1])
+	if len(s0) != cfg.Runs || len(s1) != cfg.Runs {
+		t.Fatalf("topologies not distinct across runs: %d/%d unique, want %d", len(s0), len(s1), cfg.Runs)
+	}
+	for tp := range s0 {
+		if !s1[tp] {
+			t.Fatal("algorithms ran on different topology objects for the same run")
+		}
+	}
+}
+
+// TestSweepParallelMatchesSequential checks that the grid engine's
+// scheduling never leaks into the numbers.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Rounds = 15
+	cfg.Runs = 3
+	variants := []Variant{
+		{Label: "45", Mutate: func(c *Config) { c.Nodes = 45 }},
+		{Label: "60", Mutate: func(c *Config) { c.Nodes = 60 }},
+	}
+	algs := []NamedFactory{
+		{"TAG", func() protocol.Algorithm { return baseline.NewTAG() }},
+		{"IQ", func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }},
+	}
+	seq, err := SweepContext(context.Background(), cfg, "t", "|N|", variants, algs, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepContext(context.Background(), cfg, "t", "|N|", variants, algs, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Cells, par.Cells) {
+		t.Fatal("parallel sweep cells differ from sequential")
+	}
+}
+
+// TestEngineProgress checks the progress contract: serialized calls,
+// done increasing by one, ending at the grid size.
+func TestEngineProgress(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Rounds = 5
+	cfg.Runs = 3
+	algs := []NamedFactory{
+		{"TAG", func() protocol.Algorithm { return baseline.NewTAG() }},
+		{"IQ", func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }},
+	}
+	var calls []int
+	wantTotal := cfg.Runs * len(algs)
+	_, err := CompareContext(context.Background(), cfg, algs, Options{
+		Parallelism: 4,
+		Progress: func(done, total int) {
+			if total != wantTotal {
+				t.Errorf("total = %d, want %d", total, wantTotal)
+			}
+			calls = append(calls, done)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != wantTotal {
+		t.Fatalf("progress called %d times, want %d", len(calls), wantTotal)
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress done sequence %v not 1..%d", calls, wantTotal)
+		}
+	}
+}
+
+// TestEngineCancellation checks that a cancelled context aborts the
+// grid with the context's error.
+func TestEngineCancellation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Runs = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, cfg, func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }, Options{Parallelism: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// failingAlg errors during Init.
+type failingAlg struct{}
+
+func (failingAlg) Name() string                        { return "FAIL" }
+func (failingAlg) Init(*sim.Runtime, int) (int, error) { return 0, errors.New("boom") }
+func (failingAlg) Step(rt *sim.Runtime) (int, error)   { return 0, errors.New("boom") }
+
+// TestEngineErrorAborts checks that a failing algorithm surfaces its
+// error (with the run context) instead of a partial table.
+func TestEngineErrorAborts(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Runs = 4
+	algs := []NamedFactory{
+		{"IQ", func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }},
+		{"FAIL", func() protocol.Algorithm { return failingAlg{} }},
+	}
+	_, err := CompareContext(context.Background(), cfg, algs, Options{Parallelism: 4})
+	if err == nil {
+		t.Fatal("failing algorithm did not surface an error")
+	}
+}
+
+// TestBuildRuntimeMatchesDeployment pins the compatibility wrapper to
+// the two-step path.
+func TestBuildRuntimeMatchesDeployment(t *testing.T) {
+	cfg := smallCfg()
+	rt, err := BuildRuntime(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := BuildDeployment(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := dep.NewRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.N() != rt2.N() {
+		t.Fatalf("node counts differ: %d vs %d", rt.N(), rt2.N())
+	}
+	for i := 0; i < rt.N(); i++ {
+		if rt.Reading(i) != rt2.Reading(i) {
+			t.Fatalf("node %d reading differs", i)
+		}
+	}
+	if !reflect.DeepEqual(rt.Topology().Parent, rt2.Topology().Parent) {
+		t.Fatal("routing trees differ between BuildRuntime and BuildDeployment")
+	}
+}

@@ -8,8 +8,8 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"wsnq/internal/data"
@@ -17,7 +17,6 @@ import (
 	"wsnq/internal/msg"
 	"wsnq/internal/protocol"
 	"wsnq/internal/sim"
-	"wsnq/internal/som"
 	"wsnq/internal/wsn"
 )
 
@@ -206,16 +205,19 @@ type Metrics struct {
 }
 
 // Run executes the cell for one algorithm and averages over cfg.Runs.
+// It delegates to the parallel engine (see engine.go); pass
+// Options{Parallelism: 1} to RunContext for strictly sequential
+// execution — the results are bit-identical either way.
 func Run(cfg Config, factory Factory) (Metrics, error) {
-	if err := cfg.Validate(); err != nil {
-		return Metrics{}, err
-	}
+	return RunContext(context.Background(), cfg, factory, Options{})
+}
+
+// aggregate averages per-run metrics in run order. Summation order is
+// fixed so the result is bit-identical no matter how the runs were
+// scheduled.
+func aggregate(runs []Metrics) Metrics {
 	var agg Metrics
-	for r := 0; r < cfg.Runs; r++ {
-		m, err := runOnce(cfg, factory(), r)
-		if err != nil {
-			return Metrics{}, fmt.Errorf("run %d: %w", r, err)
-		}
+	for _, m := range runs {
 		agg.MaxNodeEnergyPerRound += m.MaxNodeEnergyPerRound
 		agg.LifetimeRounds += m.LifetimeRounds
 		agg.TotalEnergy += m.TotalEnergy
@@ -235,7 +237,7 @@ func Run(cfg Config, factory Factory) (Metrics, error) {
 			agg.PhaseBitsPerRound[ph] += bits
 		}
 	}
-	f := float64(cfg.Runs)
+	f := float64(len(runs))
 	agg.MaxNodeEnergyPerRound /= f
 	agg.LifetimeRounds /= f
 	agg.TotalEnergy /= f
@@ -248,12 +250,14 @@ func Run(cfg Config, factory Factory) (Metrics, error) {
 	for ph := range agg.PhaseBitsPerRound {
 		agg.PhaseBitsPerRound[ph] /= f
 	}
-	return agg, nil
+	return agg
 }
 
-// runOnce executes one simulation run.
-func runOnce(cfg Config, alg protocol.Algorithm, run int) (Metrics, error) {
-	rt, err := BuildRuntime(cfg, run)
+// runOn executes one simulation run of alg on a (possibly shared)
+// deployment. It builds its own runtime, so concurrent calls with the
+// same deployment are safe.
+func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm) (Metrics, error) {
+	rt, err := dep.NewRuntime(cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -393,168 +397,4 @@ func expandVirtual(top *wsn.Topology, cfg Config) (*wsn.Topology, error) {
 		return top, nil
 	}
 	return wsn.ExpandVirtual(top, cfg.ValuesPerNode)
-}
-
-// BuildRuntime assembles the deployment of one run. Run r derives its
-// seeds from the base seed so runs differ but remain reproducible.
-func BuildRuntime(cfg Config, run int) (*sim.Runtime, error) {
-	seed := cfg.Seed + int64(run)*104729 // distinct prime stride per run
-	buildTree := wsn.BuildTree
-	if cfg.Tree == TreeBFS {
-		buildTree = wsn.BuildTreeBFS
-	}
-	switch cfg.Dataset.Kind {
-	case Synthetic:
-		rng := rand.New(rand.NewSource(seed))
-		var top *wsn.Topology
-		var err error
-		for attempt := 0; attempt < 50; attempt++ {
-			pos := wsn.RandomPlacement(cfg.Nodes, cfg.Area, rng)
-			root := wsn.Point{X: rng.Float64() * cfg.Area, Y: rng.Float64() * cfg.Area}
-			top, err = buildTree(pos, root, cfg.RadioRange)
-			if err == nil {
-				break
-			}
-		}
-		if err != nil {
-			return nil, fmt.Errorf("experiment: no connected placement: %w", err)
-		}
-		if top, err = expandVirtual(top, cfg); err != nil {
-			return nil, err
-		}
-		scfg := cfg.Dataset.Synthetic
-		scfg.Seed = seed
-		// Virtual children share their host's position and therefore
-		// its spatially correlated base level; per-node jitter and
-		// noise still give each measurement its own value.
-		src, err := data.NewSynthetic(scfg, top.Pos, cfg.Area)
-		if err != nil {
-			return nil, err
-		}
-		return sim.New(sim.Config{
-			Topology: top, Source: src,
-			Sizes: cfg.Sizes, Energy: cfg.Energy,
-			LossProb: cfg.LossProb, Seed: seed ^ 0x10551,
-			ChargeByDistance: cfg.ChargeByDistance,
-		})
-
-	case Pressure:
-		// The trace and SOM placement are fixed across runs (node
-		// positions do not move, §5.1); only the root selection varies.
-		spec := cfg.Dataset
-		nodes := spec.PressureNodes
-		if nodes == 0 {
-			nodes = cfg.Nodes
-		}
-		perNode := cfg.ValuesPerNode
-		if perNode < 1 {
-			perNode = 1
-		}
-		skip := spec.Skip
-		if skip < 1 {
-			skip = 1
-		}
-		// The raw trace length must not depend on the skip factor:
-		// every sampling-rate variant of Figure 10 subsamples the SAME
-		// dataset, so the generator's random stream stays aligned.
-		rawRounds := spec.PressureRounds
-		if rawRounds == 0 {
-			const maxSkip = 16 // largest skip in the Figure 10 sweep
-			need := cfg.Rounds*skip + skip
-			rawRounds = cfg.Rounds*maxSkip + maxSkip
-			if need > rawRounds {
-				rawRounds = need
-			}
-		}
-		// With multiple measurements per node, the trace holds one
-		// series per measurement; the first `nodes` series belong to
-		// the real nodes (and drive the SOM placement), the rest to
-		// their artificial children, in ExpandVirtual's id order.
-		tr, err := data.NewPressureTrace(data.PressureConfig{
-			Nodes: nodes * perNode, Rounds: rawRounds, Seed: cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if spec.Pessimistic {
-			if err := tr.SetUniverse(data.PessimisticLoHPa, data.PessimisticHiHPa); err != nil {
-				return nil, err
-			}
-		}
-		if skip > 1 {
-			if tr, err = tr.Skip(skip); err != nil {
-				return nil, err
-			}
-		}
-		return traceRuntime(cfg, seed, nodes, tr, buildTree)
-
-	case UserTrace:
-		tr := cfg.Dataset.Trace
-		if tr == nil {
-			return nil, fmt.Errorf("experiment: UserTrace dataset without a trace")
-		}
-		perNode := cfg.ValuesPerNode
-		if perNode < 1 {
-			perNode = 1
-		}
-		if tr.Nodes() != cfg.Nodes*perNode {
-			return nil, fmt.Errorf("experiment: trace has %d series, config needs %d×%d", tr.Nodes(), cfg.Nodes, perNode)
-		}
-		if skip := cfg.Dataset.Skip; skip > 1 {
-			var err error
-			if tr, err = tr.Skip(skip); err != nil {
-				return nil, err
-			}
-		}
-		return traceRuntime(cfg, seed, cfg.Nodes, tr, buildTree)
-
-	default:
-		return nil, fmt.Errorf("experiment: unknown dataset kind %d", cfg.Dataset.Kind)
-	}
-}
-
-// traceRuntime places trace-driven nodes with a SOM over the first
-// measurements of the `nodes` real nodes, builds a connected routing
-// tree rooted at a randomly selected node position, applies the
-// virtual-children expansion, and assembles the runtime.
-func traceRuntime(cfg Config, seed int64, nodes int, tr *data.Trace, buildTree func([]wsn.Point, wsn.Point, float64) (*wsn.Topology, error)) (*sim.Runtime, error) {
-	rootRng := rand.New(rand.NewSource(seed ^ 0x5EED))
-	// SOM placements concentrate nodes along the active lattice band
-	// and can leave disconnected pockets; widen the placement jitter
-	// progressively (keeping best-matching units, hence the spatial
-	// correlation) until the disc graph is connected. The radio range —
-	// and with it the energy model — stays untouched.
-	realFirst := tr.FirstValues()[:nodes]
-	somMap, err := som.Train(realFirst, som.Config{}, rand.New(rand.NewSource(cfg.Seed)))
-	if err != nil {
-		return nil, err
-	}
-	var top *wsn.Topology
-	placed := false
-	for _, spread := range []float64{1, 1.5, 2, 3, 4, 6} {
-		for attempt := 0; attempt < 5; attempt++ {
-			placeRng := rand.New(rand.NewSource(cfg.Seed + int64(attempt)*7919))
-			pos := somMap.PlaceSpread(realFirst, cfg.Area, spread, placeRng)
-			top, err = buildTree(pos, pos[rootRng.Intn(len(pos))], cfg.RadioRange)
-			if err == nil {
-				placed = true
-				break
-			}
-		}
-		if placed {
-			break
-		}
-	}
-	if !placed {
-		return nil, fmt.Errorf("experiment: SOM placement not connected at ρ=%v: %w", cfg.RadioRange, err)
-	}
-	if top, err = expandVirtual(top, cfg); err != nil {
-		return nil, err
-	}
-	return sim.New(sim.Config{
-		Topology: top, Source: tr,
-		Sizes: cfg.Sizes, Energy: cfg.Energy,
-		LossProb: cfg.LossProb, Seed: seed ^ 0x10551,
-		ChargeByDistance: cfg.ChargeByDistance,
-	})
 }

@@ -61,33 +61,6 @@ func (t *Table) Cell(variant, alg string) (Metrics, bool) {
 	return m, ok
 }
 
-// Sweep runs every (variant × algorithm) cell and collects a Table.
-func Sweep(base Config, title, rowLabel string, variants []Variant, algs []NamedFactory) (*Table, error) {
-	t := &Table{
-		Title:    title,
-		RowLabel: rowLabel,
-		Cells:    make(map[string]Metrics),
-	}
-	for _, a := range algs {
-		t.Algorithms = append(t.Algorithms, a.Name)
-	}
-	for _, v := range variants {
-		t.Variants = append(t.Variants, v.Label)
-		cfg := base
-		if v.Mutate != nil {
-			v.Mutate(&cfg)
-		}
-		for _, a := range algs {
-			m, err := Run(cfg, a.New)
-			if err != nil {
-				return nil, fmt.Errorf("%s / %s / %s: %w", title, v.Label, a.Name, err)
-			}
-			t.Cells[cellKey(v.Label, a.Name)] = m
-		}
-	}
-	return t, nil
-}
-
 // MetricSelector extracts one scalar from a cell.
 type MetricSelector struct {
 	Name   string

@@ -19,12 +19,25 @@
 //	m, err := wsnq.Run(cfg, wsnq.IQ)
 //	// m.MaxNodeEnergyPerRound, m.LifetimeRounds, ...
 //
+// Studies execute on a parallel engine that fans the independent
+// simulation runs out over a bounded worker pool while keeping results
+// bit-identical to sequential execution. Long sweeps are cancellable
+// through the context-first entry points, and functional options tune
+// the engine:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	res, err := wsnq.CompareContext(ctx, cfg, wsnq.StandardAlgorithms(),
+//		wsnq.WithParallelism(8),
+//		wsnq.WithProgress(func(done, total int) { fmt.Printf("\r%d/%d", done, total) }))
+//
 // For round-by-round control (live monitoring, custom metrics), use
 // NewSimulation. For the paper's evaluation sweeps, use the Figure API
-// (Figures, RunFigure) or `go test -bench .`.
+// (Figures, RunFigure, RunFigureContext) or `go test -bench .`.
 package wsnq
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -249,17 +262,16 @@ func (c Config) toInternal() (experiment.Config, error) {
 	return cfg, nil
 }
 
-// K returns the queried rank k = max(1, ⌊φ·|N|⌋).
+// K returns the queried rank k = max(1, ⌊φ·|N|·ValuesPerNode⌋),
+// clamped to the measurement count. It is computed by the same
+// harness-side path every simulation uses, so K never disagrees with
+// the rank a Run actually queries.
 func (c Config) K() int {
-	cfg, err := c.toInternal()
-	if err != nil {
-		k := int(c.Phi * float64(c.Nodes))
-		if k < 1 {
-			k = 1
-		}
-		return k
-	}
-	return cfg.K()
+	return experiment.Config{
+		Nodes:         c.Nodes,
+		ValuesPerNode: c.ValuesPerNode,
+		Phi:           c.Phi,
+	}.K()
 }
 
 // Metrics reports one algorithm's averaged results.
@@ -315,9 +327,51 @@ func fromInternal(m experiment.Metrics) Metrics {
 	}
 }
 
-// Run executes the configured study for one algorithm and returns the
-// metrics averaged over all runs.
-func Run(cfg Config, alg Algorithm) (Metrics, error) {
+// Option tunes how the engine executes a study. The zero set of
+// options runs one worker per CPU with no progress reporting.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	exp experiment.Options
+}
+
+// WithParallelism bounds the number of simulation runs executing
+// concurrently. n <= 0 restores the default, runtime.GOMAXPROCS(0);
+// n = 1 forces strictly sequential execution. Per-run seeds derive from
+// Config.Seed alone and runs are aggregated in run order, so results
+// are bit-identical at every setting.
+func WithParallelism(n int) Option {
+	return func(o *engineOptions) {
+		if n < 0 {
+			n = 0
+		}
+		o.exp.Parallelism = n
+	}
+}
+
+// WithProgress reports engine progress: fn is called after each
+// completed job (one algorithm over one run, and over one sweep cell
+// for figures) with the number of finished and total jobs. Calls are
+// serialized; done increases by one per call.
+func WithProgress(fn func(done, total int)) Option {
+	return func(o *engineOptions) { o.exp.Progress = fn }
+}
+
+func resolveOptions(opts []Option) experiment.Options {
+	var o engineOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o.exp
+}
+
+// RunContext executes the configured study for one algorithm and
+// returns the metrics averaged over all runs. The runs fan out over the
+// engine's worker pool; cancelling the context aborts the remaining
+// ones and returns the context's error.
+func RunContext(ctx context.Context, cfg Config, alg Algorithm, opts ...Option) (Metrics, error) {
 	icfg, err := cfg.toInternal()
 	if err != nil {
 		return Metrics{}, err
@@ -326,25 +380,93 @@ func Run(cfg Config, alg Algorithm) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	m, err := experiment.Run(icfg, f)
+	m, err := experiment.RunContext(ctx, icfg, f, resolveOptions(opts))
 	if err != nil {
 		return Metrics{}, err
 	}
 	return fromInternal(m), nil
 }
 
-// Compare runs several algorithms on identical deployments (same seeds,
-// same topologies, same measurements) and returns their metrics.
-func Compare(cfg Config, algs []Algorithm) (map[Algorithm]Metrics, error) {
-	out := make(map[Algorithm]Metrics, len(algs))
-	for _, a := range algs {
-		m, err := Run(cfg, a)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", a, err)
+// Run executes the configured study for one algorithm and returns the
+// metrics averaged over all runs. It delegates to RunContext with a
+// background context.
+func Run(cfg Config, alg Algorithm, opts ...Option) (Metrics, error) {
+	return RunContext(context.Background(), cfg, alg, opts...)
+}
+
+// Result pairs one compared algorithm with its averaged metrics.
+type Result struct {
+	Algorithm Algorithm
+	Metrics   Metrics
+}
+
+// CompareResults holds comparison results in the caller's algorithm
+// order.
+type CompareResults []Result
+
+// Get returns the metrics of one algorithm, ok reporting whether it was
+// part of the comparison.
+func (rs CompareResults) Get(alg Algorithm) (Metrics, bool) {
+	for _, r := range rs {
+		if r.Algorithm == alg {
+			return r.Metrics, true
 		}
-		out[a] = m
+	}
+	return Metrics{}, false
+}
+
+// Map returns the results keyed by algorithm.
+func (rs CompareResults) Map() map[Algorithm]Metrics {
+	out := make(map[Algorithm]Metrics, len(rs))
+	for _, r := range rs {
+		out[r.Algorithm] = r.Metrics
+	}
+	return out
+}
+
+// CompareContext runs several algorithms on identical deployments and
+// returns their metrics in the order of algs. The identical-deployment
+// guarantee is structural, not seed-derived: the engine builds each
+// run's topology, SOM placement, and measurement series exactly once
+// and executes every algorithm against that shared, immutable
+// deployment, so all compared algorithms see the same networks and the
+// same data by construction. Runs and algorithms fan out over the
+// worker pool; results are bit-identical at any parallelism.
+func CompareContext(ctx context.Context, cfg Config, algs []Algorithm, opts ...Option) (CompareResults, error) {
+	icfg, err := cfg.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	named := make([]experiment.NamedFactory, len(algs))
+	for i, a := range algs {
+		f, err := factory(a)
+		if err != nil {
+			return nil, err
+		}
+		named[i] = experiment.NamedFactory{Name: string(a), New: f}
+	}
+	ms, err := experiment.CompareContext(ctx, icfg, named, resolveOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	out := make(CompareResults, len(algs))
+	for i, a := range algs {
+		out[i] = Result{Algorithm: a, Metrics: fromInternal(ms[i])}
 	}
 	return out, nil
+}
+
+// Compare runs several algorithms on identical deployments (same
+// topologies, same measurements — see CompareContext for how that is
+// guaranteed) and returns their metrics keyed by algorithm. It
+// delegates to CompareContext with a background context; use
+// CompareContext directly for cancellation or order-preserving results.
+func Compare(cfg Config, algs []Algorithm, opts ...Option) (map[Algorithm]Metrics, error) {
+	res, err := CompareContext(context.Background(), cfg, algs, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Map(), nil
 }
 
 // ReadTraceCSV loads measurement series for TraceData from CSV: one
