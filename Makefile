@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: build test check bench race vet fmt
+.PHONY: build test check bench race vet fmt fuzz-smoke oracle trace-guard
 
 build:
 	$(GO) build ./...
@@ -14,10 +15,30 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the gate every change must pass: static analysis plus the
-# full suite under the race detector (the parallel engine makes this
-# the interesting configuration).
-check: vet race
+# oracle runs the flight-recorder suite: collectors, the invariant
+# checker, and the differential tests against the centralized oracle.
+oracle:
+	$(GO) test ./internal/trace/...
+
+# fuzz-smoke gives each fuzz target a short budget of fresh inputs on
+# top of the committed corpus (go test -fuzz accepts one target at a
+# time, hence one invocation per target).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzFragmentRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/msg/
+	$(GO) test -run '^$$' -fuzz '^FuzzReassembleRobust$$' -fuzztime $(FUZZTIME) ./internal/msg/
+	$(GO) test -run '^$$' -fuzz '^FuzzHistogramCodec$$' -fuzztime $(FUZZTIME) ./internal/protocol/
+	$(GO) test -run '^$$' -fuzz '^FuzzBucketsIndex$$' -fuzztime $(FUZZTIME) ./internal/protocol/
+
+# trace-guard measures the disabled flight recorder against the
+# pre-instrumentation hot path and fails beyond the 2% budget. Timing
+# sensitive — run on an idle machine.
+trace-guard:
+	TRACE_GUARD=1 $(GO) test -run '^TestTracerOverheadGuard$$' -v ./internal/sim/
+
+# check is the gate every change must pass: static analysis, the full
+# suite under the race detector (the parallel engine makes this the
+# interesting configuration), the oracle suite, and a fuzz smoke run.
+check: vet race oracle fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem .

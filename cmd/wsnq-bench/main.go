@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -31,16 +32,17 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure id (see -list) or 'all'")
-		scale    = flag.Float64("scale", 0.1, "fraction of the paper's 20 runs × 250 rounds")
-		metrics  = flag.String("metric", "energy,lifetime", "comma-separated metrics: energy, lifetime, values, frames, rankerror")
-		nodes    = flag.Int("nodes", 0, "override the default node count of non-|N| sweeps")
-		seed     = flag.Int64("seed", 0, "override the base seed")
-		list     = flag.Bool("list", false, "list available figures and exit")
-		svgDir   = flag.String("svg", "", "also write one SVG chart per (table, metric) into this directory")
-		logY     = flag.Bool("logy", false, "logarithmic value axis in SVG charts")
-		par      = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
-		progress = flag.Bool("progress", false, "report sweep progress on stderr")
+		fig       = flag.String("fig", "all", "figure id (see -list) or 'all'")
+		scale     = flag.Float64("scale", 0.1, "fraction of the paper's 20 runs × 250 rounds")
+		metrics   = flag.String("metric", "energy,lifetime", "comma-separated metrics: energy, lifetime, values, frames, rankerror")
+		nodes     = flag.Int("nodes", 0, "override the default node count of non-|N| sweeps")
+		seed      = flag.Int64("seed", 0, "override the base seed")
+		list      = flag.Bool("list", false, "list available figures and exit")
+		svgDir    = flag.String("svg", "", "also write one SVG chart per (table, metric) into this directory")
+		logY      = flag.Bool("logy", false, "logarithmic value axis in SVG charts")
+		par       = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
+		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
+		traceFile = flag.String("trace", "", "write the flight-recorder event stream of every run to FILE as JSON Lines (forces sequential runs)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,24 @@ func main() {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-bench: trace:", err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-bench: trace:", err)
+			}
+		}()
+		opts.Trace = wsnq.NewTraceJSONL(bw)
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)

@@ -6,9 +6,11 @@
 //	wsnq-sim -nodes 500 -rounds 250 -runs 5 -alg IQ,HBC,POS
 //	wsnq-sim -dataset pressure -skip 4 -pessimistic -alg all
 //	wsnq-sim -phi 0.9 -period 32 -noise 20 -loss 0.05 -alg IQ
+//	wsnq-sim -nodes 40 -rounds 25 -runs 1 -alg IQ -trace run.jsonl
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -38,10 +40,11 @@ func main() {
 		skip        = flag.Int("skip", 1, "pressure: keep every skip-th sample")
 		pessimistic = flag.Bool("pessimistic", false, "pressure: use the physical hPa universe")
 
-		algsFlag = flag.String("alg", "all", "comma-separated algorithms or 'all' (TAG, POS, LCLL-H, LCLL-S, HBC, HBC-NB, IQ, ADAPT)")
-		anatomy  = flag.Bool("anatomy", false, "also print the per-phase traffic breakdown (cost anatomy)")
-		par      = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
-		progress = flag.Bool("progress", false, "report engine progress on stderr")
+		algsFlag  = flag.String("alg", "all", "comma-separated algorithms or 'all' (TAG, POS, LCLL-H, LCLL-S, HBC, HBC-NB, IQ, ADAPT)")
+		anatomy   = flag.Bool("anatomy", false, "also print the per-phase traffic breakdown (cost anatomy)")
+		par       = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
+		progress  = flag.Bool("progress", false, "report engine progress on stderr")
+		traceFile = flag.String("trace", "", "write the flight-recorder event stream to FILE as JSON Lines (forces sequential runs)")
 	)
 	flag.Parse()
 
@@ -90,10 +93,32 @@ func main() {
 			}
 		}))
 	}
+	var flushTrace func() error
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		flushTrace = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+		opts = append(opts, wsnq.WithTraceJSONL(bw))
+	}
 	results, err := wsnq.CompareContext(ctx, cfg, algs, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
 		os.Exit(1)
+	}
+	if flushTrace != nil {
+		if err := flushTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "wsnq-sim: trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%-8s %14s %12s %14s %12s %12s %10s\n",

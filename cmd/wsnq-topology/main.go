@@ -7,16 +7,20 @@
 //	wsnq-topology -nodes 500 -range 35 -format stats
 //	wsnq-topology -nodes 300 -dataset pressure -format svg > map.svg
 //	wsnq-topology -format dot | dot -Tpng > tree.png
+//	wsnq-topology -nodes 100 -trace probe.jsonl
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"wsnq/internal/baseline"
 	"wsnq/internal/experiment"
 	"wsnq/internal/report"
+	"wsnq/internal/trace"
 	"wsnq/internal/wsn"
 )
 
@@ -30,13 +34,26 @@ func main() {
 		bfs        = flag.Bool("bfs", false, "hop-count BFS tree instead of the Euclidean SPT")
 		format     = flag.String("format", "stats", "stats, dot, or svg")
 		pixels     = flag.Int("pixels", 600, "svg: image size in pixels")
+		traceFile  = flag.String("trace", "", "record one TAG collection round on this deployment to FILE as JSON Lines")
 	)
 	flag.Parse()
 
-	top, err := build(*dataset, *nodes, *area, *radioRange, *seed, *bfs)
+	cfg, err := buildConfig(*dataset, *nodes, *area, *radioRange, *seed, *bfs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
 		os.Exit(1)
+	}
+	top, err := build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+		os.Exit(1)
+	}
+
+	if *traceFile != "" {
+		if err := traceProbe(cfg, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+			os.Exit(1)
+		}
 	}
 
 	switch *format {
@@ -62,11 +79,9 @@ func main() {
 	}
 }
 
-// build assembles run 0's deployment through the same
-// experiment.BuildDeployment path the harness uses, so the inspected
-// topology is exactly the one a simulation with these parameters runs
-// on.
-func build(dataset string, nodes int, area, radioRange float64, seed int64, bfs bool) (*wsn.Topology, error) {
+// buildConfig assembles the experiment cell these flags describe, run
+// through the same defaults the harness uses.
+func buildConfig(dataset string, nodes int, area, radioRange float64, seed int64, bfs bool) (experiment.Config, error) {
 	cfg := experiment.Default()
 	cfg.Nodes = nodes
 	cfg.Area = area
@@ -83,13 +98,50 @@ func build(dataset string, nodes int, area, radioRange float64, seed int64, bfs 
 	case "pressure":
 		cfg.Dataset = experiment.DatasetSpec{Kind: experiment.Pressure}
 	default:
-		return nil, fmt.Errorf("unknown dataset %q", dataset)
+		return cfg, fmt.Errorf("unknown dataset %q", dataset)
 	}
+	return cfg, nil
+}
+
+// build assembles run 0's deployment through the same
+// experiment.BuildDeployment path the harness uses, so the inspected
+// topology is exactly the one a simulation with these parameters runs
+// on.
+func build(cfg experiment.Config) (*wsn.Topology, error) {
 	dep, err := experiment.BuildDeployment(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
 	return dep.Topology(), nil
+}
+
+// traceProbe records one TAG collection round (a full leaves-to-root
+// convergecast of every reading) on run 0's deployment, so the event
+// stream shows exactly which hops carry how much traffic on the
+// inspected tree.
+func traceProbe(cfg experiment.Config, file string) error {
+	rt, err := experiment.BuildRuntime(cfg, 0)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	rt.SetTrace(trace.NewWriter(bw))
+	k := cfg.K()
+	q, err := baseline.NewTAG().Init(rt, k)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	rt.TraceDecision(k, q)
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printStats reports the structural properties that drive the hotspot

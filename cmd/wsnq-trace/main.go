@@ -7,9 +7,11 @@
 //
 //	wsnq-trace -rounds 125 -format csv > xi_trace.csv
 //	wsnq-trace -rounds 60 -format ascii
+//	wsnq-trace -rounds 60 -events events.jsonl
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -26,6 +28,7 @@ func main() {
 		rounds = flag.Int("rounds", 125, "rounds to trace")
 		seed   = flag.Int64("seed", 1, "seed")
 		format = flag.String("format", "csv", "csv or ascii")
+		events = flag.String("events", "", "also write the flight-recorder event stream to FILE as JSON Lines")
 	)
 	flag.Parse()
 
@@ -43,6 +46,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
 		os.Exit(1)
+	}
+
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
+			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-trace: events:", err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-trace: events:", err)
+			}
+		}()
+		s.SetTrace(wsnq.NewTraceJSONL(bw))
 	}
 
 	if *format == "csv" {

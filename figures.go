@@ -13,6 +13,7 @@ import (
 	"wsnq/internal/experiment"
 	"wsnq/internal/protocol"
 	"wsnq/internal/report"
+	"wsnq/internal/trace"
 )
 
 // Figure describes one reproducible artifact of the paper's evaluation
@@ -66,10 +67,19 @@ type FigureOptions struct {
 	// several sweeps (fig10, abl-tree, abl-energy) restart the count for
 	// each sweep table.
 	Progress func(done, total int)
+	// Trace, when non-nil, attaches a flight recorder to every
+	// simulation run of the figure, as in WithTrace. Tracing forces
+	// sequential execution in deterministic grid order.
+	Trace TraceCollector
 }
 
 func (o *FigureOptions) engine() experiment.Options {
-	return experiment.Options{Parallelism: o.Parallelism, Progress: o.Progress}
+	opts := experiment.Options{Parallelism: o.Parallelism, Progress: o.Progress}
+	if o.Trace != nil {
+		c := o.Trace
+		opts.Trace = func(experiment.TraceJob) trace.Collector { return c }
+	}
+	return opts
 }
 
 func (o *FigureOptions) apply(cfg *experiment.Config) {

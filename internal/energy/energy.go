@@ -16,6 +16,8 @@ package energy
 import (
 	"fmt"
 	"math"
+
+	"wsnq/internal/trace"
 )
 
 // Params configures the radio cost function.
@@ -78,6 +80,9 @@ type Ledger struct {
 	params Params
 	spent  []float64 // cumulative consumption per node [J]
 	round  []float64 // consumption in the current round [J]
+
+	tr    trace.Collector               // nil = debit tracing disabled
+	clock func() (round int, ph string) // round/phase stamp for debit events
 }
 
 // NewLedger creates a ledger for n sensor nodes.
@@ -95,6 +100,26 @@ func (l *Ledger) Params() Params { return l.params }
 // Nodes returns the number of tracked nodes.
 func (l *Ledger) Nodes() int { return len(l.spent) }
 
+// SetTrace attaches a flight-recorder collector that receives one
+// trace.KindEnergy event per debit, stamped with clock's round and
+// phase. Passing a nil collector detaches the hook.
+func (l *Ledger) SetTrace(c trace.Collector, clock func() (round int, ph string)) {
+	if c == nil || clock == nil {
+		l.tr, l.clock = nil, nil
+		return
+	}
+	l.tr, l.clock = c, clock
+}
+
+// debit emits one energy event for a booked charge.
+func (l *Ledger) debit(node, bits int, joules float64, op int) {
+	round, ph := l.clock()
+	l.tr.Collect(trace.Event{
+		Kind: trace.KindEnergy, Round: round, Phase: ph,
+		Node: node, Wire: bits, Joules: joules, Aux: op,
+	})
+}
+
 // ChargeSend charges node its cost for transmitting bits over rho meters.
 // Charging a negative node index is a no-op (the root sends for free).
 func (l *Ledger) ChargeSend(node, bits int, rho float64) {
@@ -104,6 +129,9 @@ func (l *Ledger) ChargeSend(node, bits int, rho float64) {
 	c := l.params.SendCost(bits, rho)
 	l.spent[node] += c
 	l.round[node] += c
+	if l.tr != nil {
+		l.debit(node, bits, c, trace.EnergySend)
+	}
 }
 
 // ChargeRecv charges node its cost for receiving bits.
@@ -115,6 +143,9 @@ func (l *Ledger) ChargeRecv(node, bits int) {
 	c := l.params.RecvCost(bits)
 	l.spent[node] += c
 	l.round[node] += c
+	if l.tr != nil {
+		l.debit(node, bits, c, trace.EnergyRecv)
+	}
 }
 
 // EndRound closes the current round and returns the maximum per-node

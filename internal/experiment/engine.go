@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"wsnq/internal/trace"
 )
 
 // Options configures the execution engine shared by RunContext,
@@ -24,10 +26,32 @@ type Options struct {
 	// by one per call, so it is safe to drive a progress bar from any
 	// goroutine-unsafe writer.
 	Progress func(done, total int)
+
+	// Trace, when non-nil, attaches a flight recorder to the grid: it
+	// is called once per job, before the job runs, and may return a
+	// collector (nil to leave that job untraced) that receives the
+	// job's full event stream. Setting Trace forces strictly sequential
+	// execution in deterministic grid order — cells, then algorithms,
+	// then runs — so a shared collector never sees interleaved streams
+	// and JSONL output is reproducible.
+	Trace func(job TraceJob) trace.Collector
 }
 
-// workers resolves the effective worker count.
+// TraceJob identifies one grid job handed to Options.Trace.
+type TraceJob struct {
+	Cell          int    // sweep cell (0 for plain runs/comparisons)
+	CellLabel     string // the cell's variant label ("" outside sweeps)
+	Algorithm     int    // index into the algorithm list
+	AlgorithmName string
+	Run           int // run (repetition) index
+}
+
+// workers resolves the effective worker count. Tracing implies one
+// worker: event streams are only meaningful in deterministic order.
 func (o Options) workers() int {
+	if o.Trace != nil {
+		return 1
+	}
 	if o.Parallelism > 0 {
 		return o.Parallelism
 	}
@@ -189,8 +213,20 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 		cfg := cfgs[j.cell]
 		dep, err := deps[j.cell][j.run].get(cfg, j.run)
 		if err == nil {
+			var tc trace.Collector
+			if opts.Trace != nil {
+				label := ""
+				if cellLabels != nil {
+					label = cellLabels[j.cell]
+				}
+				tc = opts.Trace(TraceJob{
+					Cell: j.cell, CellLabel: label,
+					Algorithm: j.alg, AlgorithmName: algs[j.alg].Name,
+					Run: j.run,
+				})
+			}
 			var m Metrics
-			m, err = runOn(cfg, dep, algs[j.alg].New())
+			m, err = runOn(cfg, dep, algs[j.alg].New(), tc)
 			if err == nil {
 				perRun[j.cell][j.alg][j.run] = []Metrics{m}
 				return

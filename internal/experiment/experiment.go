@@ -17,6 +17,7 @@ import (
 	"wsnq/internal/msg"
 	"wsnq/internal/protocol"
 	"wsnq/internal/sim"
+	"wsnq/internal/trace"
 	"wsnq/internal/wsn"
 )
 
@@ -255,11 +256,16 @@ func aggregate(runs []Metrics) Metrics {
 
 // runOn executes one simulation run of alg on a (possibly shared)
 // deployment. It builds its own runtime, so concurrent calls with the
-// same deployment are safe.
-func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm) (Metrics, error) {
+// same deployment are safe. A non-nil tc attaches a flight recorder to
+// the run's runtime; each round's answer is then recorded as a decision
+// event.
+func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, tc trace.Collector) (Metrics, error) {
 	rt, err := dep.NewRuntime(cfg)
 	if err != nil {
 		return Metrics{}, err
+	}
+	if tc != nil {
+		rt.SetTrace(tc)
 	}
 	k := cfg.K()
 
@@ -268,6 +274,7 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm) (Metrics, error)
 	died := 0 // round at which the first node died (0 = survived)
 
 	record := func(q int) {
+		rt.TraceDecision(k, q)
 		m.Rounds++
 		re := rankError(rt, k, q)
 		if re == 0 {

@@ -1,0 +1,61 @@
+package msg
+
+import "fmt"
+
+// FrameBytes returns the per-frame payload capacity in whole bytes used
+// by the byte-level fragmentation helpers. Configurations whose
+// PayloadBits is not byte-aligned round down, with a minimum of one
+// byte per frame.
+func (s Sizes) FrameBytes() int {
+	b := s.PayloadBits / 8
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Fragment splits a logical payload into link-layer frame payloads of
+// at most FrameBytes() bytes each. All frames but the last are full —
+// the canonical fragmentation Reassemble expects. Empty payloads need
+// no frames.
+func (s Sizes) Fragment(data []byte) [][]byte {
+	if len(data) == 0 {
+		return nil
+	}
+	per := s.FrameBytes()
+	frames := make([][]byte, 0, (len(data)+per-1)/per)
+	for off := 0; off < len(data); off += per {
+		end := off + per
+		if end > len(data) {
+			end = len(data)
+		}
+		frames = append(frames, data[off:end:end])
+	}
+	return frames
+}
+
+// Reassemble reverses Fragment: it concatenates frame payloads back
+// into the logical payload, rejecting streams no canonical
+// fragmentation can have produced (empty frames, oversized frames, or a
+// non-final frame that is not full).
+func (s Sizes) Reassemble(frames [][]byte) ([]byte, error) {
+	per := s.FrameBytes()
+	total := 0
+	for i, f := range frames {
+		if len(f) == 0 {
+			return nil, fmt.Errorf("msg: frame %d is empty", i)
+		}
+		if len(f) > per {
+			return nil, fmt.Errorf("msg: frame %d carries %d bytes, capacity %d", i, len(f), per)
+		}
+		if len(f) < per && i != len(frames)-1 {
+			return nil, fmt.Errorf("msg: non-final frame %d is short (%d of %d bytes)", i, len(f), per)
+		}
+		total += len(f)
+	}
+	out := make([]byte, 0, total)
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out, nil
+}

@@ -136,6 +136,7 @@ func CollectSmallestK(rt *sim.Runtime, k int) []int {
 // with a measurement in the closed interval [lo, hi] ships it; values
 // are concatenated unmodified. The result arrives sorted ascending.
 func CollectValuesIn(rt *sim.Runtime, lo, hi int) []int {
+	rt.TraceRefine(lo, hi, -1)
 	sizes := rt.Sizes()
 	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 		var vals []int
@@ -167,6 +168,7 @@ func CollectExtreme(rt *sim.Runtime, lo, hi, f int, largest bool) []int {
 	if f < 0 {
 		f = 0
 	}
+	rt.TraceRefine(lo, hi, f)
 	sizes := rt.Sizes()
 	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 		var vals []int
@@ -214,6 +216,7 @@ func truncateExtreme(vals []int, f int, largest bool) []int {
 // bu's range: each node inside sorts itself into a bucket, histograms
 // aggregate by vector addition, and only non-empty subtrees transmit.
 func CollectHistogram(rt *sim.Runtime, bu Buckets) []int {
+	rt.TraceRefine(bu.Lo, bu.Hi-1, bu.Effective())
 	sizes := rt.Sizes()
 	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 		var counts []int

@@ -14,6 +14,7 @@ import (
 	"wsnq/internal/energy"
 	"wsnq/internal/mathx"
 	"wsnq/internal/msg"
+	"wsnq/internal/trace"
 	"wsnq/internal/wsn"
 )
 
@@ -51,6 +52,11 @@ type Config struct {
 	// Seed drives loss sampling. Runs with LossProb = 0 are fully
 	// deterministic regardless of the seed.
 	Seed int64
+
+	// Trace, when non-nil, attaches a flight-recorder collector from
+	// the start (see Runtime.SetTrace). A nil collector leaves tracing
+	// disabled at the cost of one nil check per potential event.
+	Trace trace.Collector
 }
 
 // Phase labels classify traffic for the cost-anatomy analysis.
@@ -101,6 +107,7 @@ type Runtime struct {
 	round int
 	phase string
 	stats Stats
+	tr    trace.Collector // nil = flight recorder disabled
 }
 
 // New validates the configuration and builds a Runtime positioned at
@@ -124,7 +131,7 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
 		return nil, fmt.Errorf("sim: loss probability %v out of [0,1)", cfg.LossProb)
 	}
-	return &Runtime{
+	rt := &Runtime{
 		top:    cfg.Topology,
 		src:    cfg.Source,
 		sizes:  cfg.Sizes,
@@ -132,8 +139,30 @@ func New(cfg Config) (*Runtime, error) {
 		loss:   cfg.LossProb,
 		byDist: cfg.ChargeByDistance,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if cfg.Trace != nil {
+		rt.SetTrace(cfg.Trace)
+	}
+	return rt, nil
 }
+
+// SetTrace attaches a flight-recorder collector to the runtime and its
+// energy ledger, and opens the current round with a round-start event.
+// Passing nil detaches the recorder. Tracing never influences the
+// simulation itself: payload routing, loss sampling, and energy charges
+// are identical with and without a collector.
+func (rt *Runtime) SetTrace(c trace.Collector) {
+	rt.tr = c
+	if c == nil {
+		rt.ledger.SetTrace(nil, nil)
+		return
+	}
+	rt.ledger.SetTrace(c, func() (int, string) { return rt.round, rt.Phase() })
+	c.Collect(trace.Event{Kind: trace.KindRoundStart, Round: rt.round, Node: -1})
+}
+
+// Trace returns the attached collector (nil when tracing is disabled).
+func (rt *Runtime) Trace() trace.Collector { return rt.tr }
 
 // N returns the number of sensor nodes |N|.
 func (rt *Runtime) N() int { return rt.top.N() }
@@ -199,7 +228,43 @@ func (rt *Runtime) SetLossProb(p float64) error {
 
 // AdvanceRound moves to the next round; subsequent Reading calls see
 // the new measurements.
-func (rt *Runtime) AdvanceRound() { rt.round++ }
+func (rt *Runtime) AdvanceRound() {
+	if rt.tr != nil {
+		rt.tr.Collect(trace.Event{Kind: trace.KindRoundEnd, Round: rt.round, Node: -1})
+	}
+	rt.round++
+	if rt.tr != nil {
+		rt.tr.Collect(trace.Event{Kind: trace.KindRoundStart, Round: rt.round, Node: -1})
+	}
+}
+
+// TraceDecision records the root's reported quantile for the current
+// round in the flight recorder: the answer q for the queried rank k.
+// Drivers (the experiment harness, Simulation.Step, test harnesses)
+// call it once per round; the invariant oracle replays these events
+// against a centralized sort oracle. A no-op without a collector.
+func (rt *Runtime) TraceDecision(k, q int) {
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Collect(trace.Event{
+		Kind: trace.KindDecision, Round: rt.round, Phase: rt.Phase(),
+		Node: -1, Value: q, Aux: k,
+	})
+}
+
+// TraceRefine records a root-issued refinement/collection request over
+// the closed value interval [lo, hi] asking for up to f values per
+// direction (f < 0: unbounded). A no-op without a collector.
+func (rt *Runtime) TraceRefine(lo, hi, f int) {
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Collect(trace.Event{
+		Kind: trace.KindRefine, Round: rt.round, Phase: rt.Phase(),
+		Node: -1, Value: lo, Aux: hi, Values: f,
+	})
+}
 
 // Reading returns node's measurement for the current round.
 func (rt *Runtime) Reading(node int) int { return rt.src.Value(node, rt.round) }
@@ -231,13 +296,34 @@ func (rt *Runtime) charge(sender, receiver int, p Payload) {
 	}
 	bits := p.Bits()
 	wire := rt.sizes.WireBits(bits)
+	frames := rt.sizes.Frames(bits)
 	rt.ledger.ChargeSend(sender, wire, rt.uplinkRange(sender))
 	rt.ledger.ChargeRecv(receiver, wire)
 	values := 0
 	if vc, ok := p.(ValueCarrier); ok {
 		values = vc.ValueCount()
 	}
-	rt.account(wire, rt.sizes.Frames(bits), values)
+	rt.account(wire, frames, values)
+	if rt.tr != nil {
+		rt.emitSend(sender, receiver, trace.Unicast, bits, wire, frames, values)
+	}
+}
+
+// emitSend records one transmission (and, for multi-frame payloads, its
+// fragmentation) in the flight recorder. Callers check rt.tr != nil.
+func (rt *Runtime) emitSend(sender, receiver int, cast trace.Cast, bits, wire, frames, values int) {
+	rt.tr.Collect(trace.Event{
+		Kind: trace.KindSend, Round: rt.round, Phase: rt.Phase(),
+		Node: sender, Peer: receiver, Cast: cast,
+		Bits: bits, Wire: wire, Frames: frames, Values: values,
+	})
+	if frames > 1 {
+		rt.tr.Collect(trace.Event{
+			Kind: trace.KindFragment, Round: rt.round, Phase: rt.Phase(),
+			Node: sender, Peer: receiver, Cast: cast,
+			Bits: bits, Wire: wire, Frames: frames,
+		})
+	}
 }
 
 // Convergecast runs one bottom-up phase. merge is invoked for every
@@ -256,9 +342,26 @@ func (rt *Runtime) Convergecast(merge func(node int, children []Payload) Payload
 		}
 		parent := rt.top.Parent[u]
 		rt.charge(u, parent, p)
+		// Intra-node hops from virtual senders never touch the radio, so
+		// they leave no send/receive/drop events.
+		radio := rt.tr != nil && !rt.top.IsVirtual(u)
 		if rt.loss > 0 && rt.rng.Float64() < rt.loss {
 			rt.stats.PayloadsLost++
+			if radio {
+				rt.tr.Collect(trace.Event{
+					Kind: trace.KindDrop, Round: rt.round, Phase: rt.Phase(),
+					Node: u, Peer: parent, Cast: trace.Unicast,
+					Bits: p.Bits(), Wire: rt.sizes.WireBits(p.Bits()),
+				})
+			}
 			continue
+		}
+		if radio {
+			rt.tr.Collect(trace.Event{
+				Kind: trace.KindReceive, Round: rt.round, Phase: rt.Phase(),
+				Node: parent, Peer: u, Cast: trace.Unicast,
+				Bits: p.Bits(), Wire: rt.sizes.WireBits(p.Bits()),
+			})
 		}
 		if parent == -1 {
 			atRoot = append(atRoot, p)
@@ -285,15 +388,28 @@ func (rt *Runtime) Broadcast(p Payload, visit func(node int)) {
 	}
 	// Root transmission (free) reaching its children.
 	rt.account(wire, frames, vals)
+	if rt.tr != nil {
+		rt.emitSend(-1, -1, trace.Broadcast, bits, wire, frames, vals)
+	}
 	// Top-down order is the reverse of post-order. Virtual nodes share
 	// their host's radio: they neither pay a reception nor retransmit.
 	for i := len(rt.top.PostOrder) - 1; i >= 0; i-- {
 		u := rt.top.PostOrder[i]
 		if !rt.top.IsVirtual(u) {
 			rt.ledger.ChargeRecv(u, wire)
+			if rt.tr != nil {
+				rt.tr.Collect(trace.Event{
+					Kind: trace.KindReceive, Round: rt.round, Phase: rt.Phase(),
+					Node: u, Peer: rt.top.Parent[u], Cast: trace.Broadcast,
+					Bits: bits, Wire: wire,
+				})
+			}
 			if rt.hasRadioChildren(u) {
 				rt.ledger.ChargeSend(u, wire, rt.downlinkRange(u))
 				rt.account(wire, frames, vals)
+				if rt.tr != nil {
+					rt.emitSend(u, -1, trace.Broadcast, bits, wire, frames, vals)
+				}
 			}
 		}
 		if visit != nil {

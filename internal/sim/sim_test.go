@@ -1,4 +1,4 @@
-package sim
+package sim_test
 
 import (
 	"math"
@@ -8,6 +8,8 @@ import (
 	"wsnq/internal/data"
 	"wsnq/internal/energy"
 	"wsnq/internal/msg"
+	"wsnq/internal/sim"
+	"wsnq/internal/simtest"
 	"wsnq/internal/wsn"
 )
 
@@ -20,32 +22,10 @@ type testPayload struct {
 func (p *testPayload) Bits() int       { return p.bits }
 func (p *testPayload) ValueCount() int { return len(p.vals) }
 
-// chainRuntime builds a 3-node chain root <- 0 <- 1 <- 2 with readings
-// 10, 20, 30 that never change.
-func chainRuntime(t *testing.T, loss float64) *Runtime {
-	t.Helper()
-	pos := []wsn.Point{{X: 10}, {X: 20}, {X: 30}}
-	top, err := wsn.BuildTree(pos, wsn.Point{}, 12)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tr, err := data.NewTrace([][]int{{10}, {20}, {30}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rt, err := New(Config{
-		Topology: top,
-		Source:   tr,
-		Sizes:    msg.DefaultSizes(),
-		Energy:   energy.DefaultParams(),
-		LossProb: loss,
-		Seed:     1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return rt
-}
+// chainSeries is the canonical 3-node chain fixture: readings 10, 20,
+// 30 that never change, laid out by simtest.ChainRuntime as
+// root <- 0 <- 1 <- 2.
+var chainSeries = [][]int{{10}, {20}, {30}}
 
 func TestNewValidation(t *testing.T) {
 	pos := []wsn.Point{{X: 10}}
@@ -55,26 +35,26 @@ func TestNewValidation(t *testing.T) {
 
 	cases := []struct {
 		name string
-		cfg  Config
+		cfg  sim.Config
 	}{
-		{"nil topology", Config{Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
-		{"nil source", Config{Topology: top, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
-		{"node mismatch", Config{Topology: top, Source: twoTr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
-		{"bad sizes", Config{Topology: top, Source: tr, Energy: energy.DefaultParams()}},
-		{"bad energy", Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes()}},
-		{"bad loss", Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams(), LossProb: 1.5}},
+		{"nil topology", sim.Config{Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
+		{"nil source", sim.Config{Topology: top, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
+		{"node mismatch", sim.Config{Topology: top, Source: twoTr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()}},
+		{"bad sizes", sim.Config{Topology: top, Source: tr, Energy: energy.DefaultParams()}},
+		{"bad energy", sim.Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes()}},
+		{"bad loss", sim.Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams(), LossProb: 1.5}},
 	}
 	for _, c := range cases {
-		if _, err := New(c.cfg); err == nil {
+		if _, err := sim.New(c.cfg); err == nil {
 			t.Errorf("%s: accepted", c.name)
 		}
 	}
 }
 
 func TestConvergecastDeliveryAndEnergy(t *testing.T) {
-	rt := chainRuntime(t, 0)
+	rt := simtest.ChainRuntime(t, chainSeries, 0, 1)
 	// Leaf (2) starts a payload; each node appends its reading.
-	atRoot := rt.Convergecast(func(n int, children []Payload) Payload {
+	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 		vals := []int{rt.Reading(n)}
 		for _, c := range children {
 			vals = append(vals, c.(*testPayload).vals...)
@@ -113,8 +93,8 @@ func TestConvergecastDeliveryAndEnergy(t *testing.T) {
 }
 
 func TestConvergecastSilence(t *testing.T) {
-	rt := chainRuntime(t, 0)
-	atRoot := rt.Convergecast(func(n int, children []Payload) Payload { return nil })
+	rt := simtest.ChainRuntime(t, chainSeries, 0, 1)
+	atRoot := rt.Convergecast(func(n int, children []sim.Payload) sim.Payload { return nil })
 	if len(atRoot) != 0 {
 		t.Fatal("silent convergecast delivered payloads")
 	}
@@ -127,7 +107,7 @@ func TestConvergecastSilence(t *testing.T) {
 }
 
 func TestBroadcastEnergyAndOrder(t *testing.T) {
-	rt := chainRuntime(t, 0)
+	rt := simtest.ChainRuntime(t, chainSeries, 0, 1)
 	var order []int
 	rt.Broadcast(&testPayload{bits: 16}, func(n int) { order = append(order, n) })
 	// Top-down: parents before children.
@@ -163,10 +143,10 @@ func TestBroadcastEnergyAndOrder(t *testing.T) {
 func TestLossInjection(t *testing.T) {
 	// With 90% loss on a 3-hop chain, the root almost never hears the
 	// leaf; with 0% it always does.
-	lossy := chainRuntime(t, 0.9)
+	lossy := simtest.ChainRuntime(t, chainSeries, 0.9, 1)
 	lost := 0
 	for trial := 0; trial < 50; trial++ {
-		atRoot := lossy.Convergecast(func(n int, children []Payload) Payload {
+		atRoot := lossy.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 			return &testPayload{bits: 16}
 		})
 		if len(atRoot) == 0 {
@@ -179,8 +159,8 @@ func TestLossInjection(t *testing.T) {
 	if lossy.Stats().PayloadsLost == 0 {
 		t.Error("no losses recorded")
 	}
-	clean := chainRuntime(t, 0)
-	atRoot := clean.Convergecast(func(n int, children []Payload) Payload {
+	clean := simtest.ChainRuntime(t, chainSeries, 0, 1)
+	atRoot := clean.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 		return &testPayload{bits: 16}
 	})
 	if len(atRoot) != 1 || clean.Stats().PayloadsLost != 0 {
@@ -189,13 +169,7 @@ func TestLossInjection(t *testing.T) {
 }
 
 func TestOracleAndRounds(t *testing.T) {
-	tr, _ := data.NewTrace([][]int{{5, 50}, {1, 10}, {9, 90}})
-	pos := []wsn.Point{{X: 10}, {X: 20}, {X: 30}}
-	top, _ := wsn.BuildTree(pos, wsn.Point{}, 12)
-	rt, err := New(Config{Topology: top, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()})
-	if err != nil {
-		t.Fatal(err)
-	}
+	rt := simtest.ChainRuntime(t, [][]int{{5, 50}, {1, 10}, {9, 90}}, 0, 1)
 	if rt.Oracle(1) != 1 || rt.Oracle(2) != 5 || rt.Oracle(3) != 9 {
 		t.Error("oracle wrong at round 0")
 	}
@@ -212,17 +186,17 @@ func TestOracleAndRounds(t *testing.T) {
 }
 
 func TestPhaseAccounting(t *testing.T) {
-	rt := chainRuntime(t, 0)
-	rt.SetPhase(PhaseValidation)
-	rt.Convergecast(func(n int, children []Payload) Payload {
+	rt := simtest.ChainRuntime(t, chainSeries, 0, 1)
+	rt.SetPhase(sim.PhaseValidation)
+	rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 		return &testPayload{bits: 16}
 	})
-	rt.SetPhase(PhaseFilter)
+	rt.SetPhase(sim.PhaseFilter)
 	rt.Broadcast(&testPayload{bits: 16}, nil)
 
 	st := rt.Stats()
-	val := st.PerPhase[PhaseValidation]
-	fil := st.PerPhase[PhaseFilter]
+	val := st.PerPhase[sim.PhaseValidation]
+	fil := st.PerPhase[sim.PhaseFilter]
 	if val.Payloads != 3 { // three convergecast hops
 		t.Errorf("validation payloads = %d, want 3", val.Payloads)
 	}
@@ -232,18 +206,18 @@ func TestPhaseAccounting(t *testing.T) {
 	if val.Bits+fil.Bits != st.BitsSent {
 		t.Errorf("phase bits %d+%d != total %d", val.Bits, fil.Bits, st.BitsSent)
 	}
-	if rt.Phase() != PhaseFilter {
+	if rt.Phase() != sim.PhaseFilter {
 		t.Errorf("current phase = %q", rt.Phase())
 	}
 }
 
 func TestPhaseDefaultsToOther(t *testing.T) {
-	rt := chainRuntime(t, 0)
-	if rt.Phase() != PhaseOther {
+	rt := simtest.ChainRuntime(t, chainSeries, 0, 1)
+	if rt.Phase() != sim.PhaseOther {
 		t.Errorf("unlabeled phase = %q", rt.Phase())
 	}
 	rt.Broadcast(&testPayload{bits: 16}, nil)
-	if rt.Stats().PerPhase[PhaseOther].Bits == 0 {
+	if rt.Stats().PerPhase[sim.PhaseOther].Bits == 0 {
 		t.Error("unlabeled traffic not attributed to 'other'")
 	}
 }
@@ -263,13 +237,13 @@ func TestVirtualNodesAreFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := New(Config{Topology: ex, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()})
+	rt, err := sim.New(sim.Config{Topology: ex, Source: tr, Sizes: msg.DefaultSizes(), Energy: energy.DefaultParams()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Every node (virtual included) transmits in the convergecast; only
 	// the three radio hops cost energy and appear in the statistics.
-	rt.Convergecast(func(n int, children []Payload) Payload {
+	rt.Convergecast(func(n int, children []sim.Payload) sim.Payload {
 		return &testPayload{bits: 16}
 	})
 	if got := rt.Stats().PayloadsSent; got != 3 {
@@ -281,14 +255,10 @@ func TestVirtualNodesAreFree(t *testing.T) {
 		}
 	}
 	// Broadcast: virtual nodes neither receive nor retransmit.
-	before := rt.Ledger().TotalSpent()
-	bits := rt.Stats().BitsSent
 	rt.Broadcast(&testPayload{bits: 16}, nil)
-	_ = before
 	// Radio transmissions: root + nodes 0 and 1 (node 2's only child is
 	// virtual).
 	if got := rt.Stats().PayloadsSent; got != 3+3 {
 		t.Errorf("broadcast payloads = %d, want 3", got-3)
 	}
-	_ = bits
 }

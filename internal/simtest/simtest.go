@@ -6,6 +6,7 @@ package simtest
 import (
 	"fmt"
 	"math/rand"
+	"testing"
 
 	"wsnq/internal/data"
 	"wsnq/internal/energy"
@@ -50,6 +51,38 @@ func CorrelatedSeries(rng *rand.Rand, n, rounds, universe, maxStep int) [][]int 
 		s[i] = row
 	}
 	return s
+}
+
+// ChainRuntime builds a deterministic chain deployment for the given
+// series: node i sits at X = 10·(i+1), the root at the origin, and the
+// radio range of 12 links each node only to its neighbors, so traffic
+// flows root ← 0 ← 1 ← … ← n-1.
+func ChainRuntime(tb testing.TB, series [][]int, loss float64, seed int64) *sim.Runtime {
+	tb.Helper()
+	pos := make([]wsn.Point, len(series))
+	for i := range pos {
+		pos[i] = wsn.Point{X: float64(10 * (i + 1))}
+	}
+	top, err := wsn.BuildTree(pos, wsn.Point{}, 12)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tr, err := data.NewTrace(series)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rt, err := sim.New(sim.Config{
+		Topology: top,
+		Source:   tr,
+		Sizes:    msg.DefaultSizes(),
+		Energy:   energy.DefaultParams(),
+		LossProb: loss,
+		Seed:     seed,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rt
 }
 
 // RuntimeFromSeries assembles a runtime over a random connected
@@ -140,12 +173,15 @@ func PressureRuntime(n, rounds int, pessimistic bool, seed int64) (*sim.Runtime,
 
 // RunAgainstOracle drives alg for rounds continuous rounds (plus the
 // initialization round) and returns an error on the first round whose
-// answer deviates from the central oracle.
+// answer deviates from the central oracle. Each round's answer is
+// recorded as a decision event when the runtime carries a trace
+// collector, so the flight-recorder oracle can replay the run.
 func RunAgainstOracle(rt *sim.Runtime, alg protocol.Algorithm, k, rounds int) error {
 	q, err := alg.Init(rt, k)
 	if err != nil {
 		return fmt.Errorf("%s init: %w", alg.Name(), err)
 	}
+	rt.TraceDecision(k, q)
 	if want := rt.Oracle(k); q != want {
 		return fmt.Errorf("%s init: got %d, oracle %d", alg.Name(), q, want)
 	}
@@ -155,9 +191,30 @@ func RunAgainstOracle(rt *sim.Runtime, alg protocol.Algorithm, k, rounds int) er
 		if err != nil {
 			return fmt.Errorf("%s round %d: %w", alg.Name(), t, err)
 		}
+		rt.TraceDecision(k, q)
 		if want := rt.Oracle(k); q != want {
 			return fmt.Errorf("%s round %d: got %d, oracle %d", alg.Name(), t, q, want)
 		}
+	}
+	return nil
+}
+
+// RunTraced is RunAgainstOracle without the per-round exactness
+// assertion: it drives alg and records decisions, leaving judgment to
+// the replay oracle — the driver for bounded-error protocols.
+func RunTraced(rt *sim.Runtime, alg protocol.Algorithm, k, rounds int) error {
+	q, err := alg.Init(rt, k)
+	if err != nil {
+		return fmt.Errorf("%s init: %w", alg.Name(), err)
+	}
+	rt.TraceDecision(k, q)
+	for t := 1; t <= rounds; t++ {
+		rt.AdvanceRound()
+		q, err = alg.Step(rt)
+		if err != nil {
+			return fmt.Errorf("%s round %d: %w", alg.Name(), t, err)
+		}
+		rt.TraceDecision(k, q)
 	}
 	return nil
 }

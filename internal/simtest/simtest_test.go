@@ -1,0 +1,240 @@
+package simtest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wsnq/internal/data"
+	"wsnq/internal/protocol"
+	"wsnq/internal/sim"
+	"wsnq/internal/trace"
+)
+
+func TestRandomSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomSeries(rng, 5, 8, 100)
+	if len(s) != 5 {
+		t.Fatalf("got %d nodes", len(s))
+	}
+	for i, row := range s {
+		if len(row) != 8 {
+			t.Fatalf("node %d has %d rounds", i, len(row))
+		}
+		for j, v := range row {
+			if v < 0 || v >= 100 {
+				t.Fatalf("series[%d][%d] = %d outside [0,100)", i, j, v)
+			}
+		}
+	}
+}
+
+func TestCorrelatedSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const maxStep = 3
+	s := CorrelatedSeries(rng, 4, 20, 50, maxStep)
+	for i, row := range s {
+		for j, v := range row {
+			if v < 0 || v >= 50 {
+				t.Fatalf("series[%d][%d] = %d outside [0,50)", i, j, v)
+			}
+			if j > 0 {
+				d := v - row[j-1]
+				if d < -maxStep || d > maxStep {
+					t.Fatalf("series[%d] jumps by %d at round %d, max step %d", i, d, j, maxStep)
+				}
+			}
+		}
+	}
+}
+
+func TestChainRuntime(t *testing.T) {
+	rt := ChainRuntime(t, [][]int{{1}, {2}, {3}, {4}}, 0, 1)
+	if rt.N() != 4 {
+		t.Fatalf("N() = %d", rt.N())
+	}
+	top := rt.Topology()
+	// Chain shape: node 0 hangs off the root, node i off node i-1.
+	if top.Parent[0] != -1 {
+		t.Errorf("node 0 parent = %d, want -1 (root)", top.Parent[0])
+	}
+	for i := 1; i < 4; i++ {
+		if top.Parent[i] != i-1 {
+			t.Errorf("node %d parent = %d, want %d", i, top.Parent[i], i-1)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if rt.Reading(i) != i+1 {
+			t.Errorf("node %d reads %d, want %d", i, rt.Reading(i), i+1)
+		}
+	}
+}
+
+func TestRuntimeFromSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	series := RandomSeries(rng, 12, 5, 64)
+	rt, err := RuntimeFromSeries(series, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.N() != 12 {
+		t.Fatalf("N() = %d", rt.N())
+	}
+	lo, hi := rt.Universe()
+	if lo != 0 || hi != 63 {
+		t.Fatalf("universe = [%d,%d], want [0,63]", lo, hi)
+	}
+	// The oracle must agree with a direct sort of round 0.
+	if got, want := rt.Oracle(1), minOf(series, 0); got != want {
+		t.Fatalf("Oracle(1) = %d, centralized min = %d", got, want)
+	}
+
+	if _, err := RuntimeFromSeries([][]int{}, 0, 1); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func minOf(series [][]int, round int) int {
+	m := series[0][round]
+	for _, row := range series {
+		if row[round] < m {
+			m = row[round]
+		}
+	}
+	return m
+}
+
+func TestSyntheticRuntime(t *testing.T) {
+	rt, err := SyntheticRuntime(16, data.SyntheticConfig{Seed: 4, Period: 10}, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.N() != 16 {
+		t.Fatalf("N() = %d", rt.N())
+	}
+	lo, hi := rt.Universe()
+	for i := 0; i < 16; i++ {
+		if v := rt.Reading(i); v < lo || v > hi {
+			t.Fatalf("node %d reads %d outside universe [%d,%d]", i, v, lo, hi)
+		}
+	}
+}
+
+func TestPressureRuntime(t *testing.T) {
+	rt, err := PressureRuntime(10, 6, false, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.N() != 10 {
+		t.Fatalf("N() = %d", rt.N())
+	}
+	rt.AdvanceRound()
+	if rt.Round() != 1 {
+		t.Fatal("round did not advance")
+	}
+}
+
+// centralAlg answers by reading every node directly — always exact,
+// never transmits.
+type centralAlg struct{ k int }
+
+func (a *centralAlg) Name() string { return "central" }
+func (a *centralAlg) Init(rt *sim.Runtime, k int) (int, error) {
+	a.k = k
+	return rt.Oracle(k), nil
+}
+func (a *centralAlg) Step(rt *sim.Runtime) (int, error) { return rt.Oracle(a.k), nil }
+
+// brokenAlg answers a constant, deviating from the oracle as soon as
+// the true quantile moves away from it.
+type brokenAlg struct{ answer int }
+
+func (a *brokenAlg) Name() string                        { return "broken" }
+func (a *brokenAlg) Init(*sim.Runtime, int) (int, error) { return a.answer, nil }
+func (a *brokenAlg) Step(*sim.Runtime) (int, error)      { return a.answer, nil }
+
+// failingAlg errors on demand.
+type failingAlg struct{ onStep bool }
+
+func (a *failingAlg) Name() string { return "failing" }
+func (a *failingAlg) Init(rt *sim.Runtime, k int) (int, error) {
+	if !a.onStep {
+		return 0, fmt.Errorf("synthetic init failure")
+	}
+	return rt.Oracle(k), nil
+}
+func (a *failingAlg) Step(*sim.Runtime) (int, error) {
+	return 0, fmt.Errorf("synthetic step failure")
+}
+
+func TestRunAgainstOracle(t *testing.T) {
+	series := [][]int{{5, 6, 7}, {1, 2, 3}, {9, 8, 7}}
+
+	if err := RunAgainstOracle(ChainRuntime(t, series, 0, 1), &centralAlg{}, 2, 2); err != nil {
+		t.Fatalf("exact algorithm rejected: %v", err)
+	}
+
+	err := RunAgainstOracle(ChainRuntime(t, series, 0, 1), &brokenAlg{answer: 5}, 2, 2)
+	if err == nil {
+		t.Fatal("deviating algorithm accepted")
+	}
+	if !strings.Contains(err.Error(), "oracle") {
+		t.Fatalf("deviation error %q does not name the oracle", err)
+	}
+
+	if err := RunAgainstOracle(ChainRuntime(t, series, 0, 1), &failingAlg{}, 2, 2); err == nil {
+		t.Fatal("init failure swallowed")
+	}
+	if err := RunAgainstOracle(ChainRuntime(t, series, 0, 1), &failingAlg{onStep: true}, 2, 2); err == nil {
+		t.Fatal("step failure swallowed")
+	}
+}
+
+func TestRunAgainstOracleRecordsDecisions(t *testing.T) {
+	series := [][]int{{5, 6, 7}, {1, 2, 3}, {9, 8, 7}}
+	rt := ChainRuntime(t, series, 0, 1)
+	rec := trace.NewRecorder()
+	rt.SetTrace(rec)
+	if err := RunAgainstOracle(rt, &centralAlg{}, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	decisions := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindDecision {
+			decisions++
+			if e.Aux != 2 {
+				t.Fatalf("decision carries k=%d, want 2", e.Aux)
+			}
+		}
+	}
+	if decisions != 3 { // init + 2 continuous rounds
+		t.Fatalf("recorded %d decisions, want 3", decisions)
+	}
+}
+
+func TestRunTraced(t *testing.T) {
+	series := [][]int{{5, 6, 7}, {1, 2, 3}, {9, 8, 7}}
+	rt := ChainRuntime(t, series, 0, 1)
+	rec := trace.NewRecorder()
+	rt.SetTrace(rec)
+	// RunTraced must tolerate a deviating algorithm — judging is the
+	// replay oracle's job.
+	if err := RunTraced(rt, &brokenAlg{answer: 5}, 2, 2); err != nil {
+		t.Fatalf("RunTraced rejected a deviating algorithm: %v", err)
+	}
+	decisions := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindDecision {
+			decisions++
+		}
+	}
+	if decisions != 3 {
+		t.Fatalf("recorded %d decisions, want 3", decisions)
+	}
+	if err := RunTraced(ChainRuntime(t, series, 0, 1), &failingAlg{}, 2, 2); err == nil {
+		t.Fatal("init failure swallowed")
+	}
+}
+
+var _ protocol.Algorithm = (*centralAlg)(nil)

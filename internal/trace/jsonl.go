@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Writer streams events as JSON Lines: one Event object per line, in
+// arrival order. Encoding is deterministic (fixed field order, stable
+// float formatting), which is what makes committed golden-trace digests
+// possible. Errors are sticky: the first write failure stops further
+// encoding and is reported by Err.
+type Writer struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewWriter returns a JSONL collector writing to w. The writer does not
+// buffer; wrap w in a bufio.Writer (and flush it) for file output.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{enc: json.NewEncoder(w)}
+}
+
+// Collect implements Collector.
+func (w *Writer) Collect(e Event) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// ReadEvents parses a JSONL stream written by Writer back into events.
+// Blank lines are skipped; the first malformed line aborts with its
+// line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}

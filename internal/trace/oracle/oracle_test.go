@@ -1,0 +1,307 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"wsnq/internal/msg"
+	"wsnq/internal/trace"
+)
+
+// cleanConfig enables every check for a 3-node chain with fixed
+// readings 10, 20, 30 and the default framing model.
+func cleanConfig(energy []float64) Config {
+	return Config{
+		Readings:          func(int) []int { return []int{10, 20, 30} },
+		Sizes:             msg.DefaultSizes(),
+		HasSizes:          true,
+		Energy:            energy,
+		BroadcastSends:    3, // root + nodes 0 and 1 retransmit
+		BroadcastReceives: 3,
+	}
+}
+
+// sendEvent builds a consistent unicast send for the default sizes.
+func sendEvent(round, node, peer, bits int) trace.Event {
+	s := msg.DefaultSizes()
+	return trace.Event{
+		Kind: trace.KindSend, Round: round, Node: node, Peer: peer,
+		Cast: trace.Unicast, Bits: bits, Wire: s.WireBits(bits), Frames: s.Frames(bits), Values: 1,
+	}
+}
+
+func violations(t *testing.T, rep Report, invariant string) int {
+	t.Helper()
+	n := 0
+	for _, v := range rep.Violations {
+		if v.Invariant == invariant {
+			n++
+		} else {
+			t.Errorf("unexpected %s violation: %s", v.Invariant, v)
+		}
+	}
+	return n
+}
+
+func TestCheckCleanStream(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindRoundStart, Round: 0, Node: -1},
+		sendEvent(0, 2, 1, 16),
+		{Kind: trace.KindReceive, Round: 0, Node: 1, Peer: 2, Cast: trace.Unicast, Bits: 16},
+		{Kind: trace.KindEnergy, Round: 0, Node: 2, Wire: 144, Joules: 0.5, Aux: trace.EnergySend},
+		{Kind: trace.KindEnergy, Round: 0, Node: 1, Wire: 144, Joules: 0.25, Aux: trace.EnergyRecv},
+		sendEvent(0, 1, 0, 32),
+		{Kind: trace.KindDrop, Round: 0, Node: 1, Peer: 0, Cast: trace.Unicast},
+		{Kind: trace.KindRefine, Round: 0, Node: -1, Value: 10, Aux: 30, Values: 2},
+		{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 20, Aux: 2},
+		{Kind: trace.KindRoundEnd, Round: 0, Node: -1},
+	}
+	rep := Check(events, cleanConfig([]float64{0, 0.25, 0.5}))
+	if err := rep.Err(); err != nil {
+		t.Fatalf("clean stream rejected: %v", err)
+	}
+	if rep.Events != len(events) || rep.Decisions != 1 || rep.Sends != 2 || rep.Receives != 1 || rep.Drops != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestQuantileViolations(t *testing.T) {
+	cfg := cleanConfig(nil)
+	cfg.HasSizes = false
+
+	// Wrong answer.
+	rep := Check([]trace.Event{{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 21, Aux: 2}}, cfg)
+	if violations(t, rep, "quantile") != 1 {
+		t.Fatal("wrong decision accepted")
+	}
+	// Rank out of range.
+	rep = Check([]trace.Event{{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 10, Aux: 4}}, cfg)
+	if violations(t, rep, "quantile") != 1 {
+		t.Fatal("out-of-range rank accepted")
+	}
+	// Two decisions in one round.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 20, Aux: 2},
+		{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 20, Aux: 2},
+	}, cfg)
+	if violations(t, rep, "quantile") != 1 {
+		t.Fatal("double decision accepted")
+	}
+	// Exact answer, different rounds: fine.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 20, Aux: 2},
+		{Kind: trace.KindDecision, Round: 1, Node: -1, Value: 20, Aux: 2},
+	}, cfg)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("per-round decisions rejected: %v", err)
+	}
+	if rep.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want 2", rep.Rounds)
+	}
+}
+
+func TestQuantileRankBound(t *testing.T) {
+	cfg := Config{
+		Readings:  func(int) []int { return []int{10, 20, 30, 40, 50} },
+		RankBound: 1,
+	}
+	// 30 is rank 3; k=2 is one rank off — inside the bound.
+	rep := Check([]trace.Event{{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 30, Aux: 2}}, cfg)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("in-bound answer rejected: %v", err)
+	}
+	// 50 is rank 5; k=2 is three ranks off — outside.
+	rep = Check([]trace.Event{{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 50, Aux: 2}}, cfg)
+	if violations(t, rep, "quantile") != 1 {
+		t.Fatal("out-of-bound answer accepted")
+	}
+	// A value absent from the readings still gets a rank interval.
+	rep = Check([]trace.Event{{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 25, Aux: 2}}, cfg)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("between-values answer rejected: %v", err)
+	}
+}
+
+func TestRankError(t *testing.T) {
+	readings := []int{10, 20, 20, 30}
+	cases := []struct {
+		k, reported, want int
+	}{
+		{1, 10, 0},
+		{2, 20, 0}, // 20 occupies ranks 2-3
+		{3, 20, 0},
+		{4, 20, 1},
+		{1, 30, 3},
+		{4, 10, 3},
+		// 25 is absent: it would sit between ranks 3 and 4, so its
+		// distance to any k is at least 1.
+		{2, 25, 2},
+		{3, 25, 1},
+	}
+	for _, c := range cases {
+		if got := rankError(readings, c.k, c.reported); got != c.want {
+			t.Errorf("rankError(%v, k=%d, %d) = %d, want %d", readings, c.k, c.reported, got, c.want)
+		}
+	}
+}
+
+func TestEnergyViolations(t *testing.T) {
+	base := Config{Energy: []float64{0.5, 0}}
+
+	// Conservation holds.
+	rep := Check([]trace.Event{
+		{Kind: trace.KindEnergy, Round: 0, Node: 0, Joules: 0.25, Aux: trace.EnergySend},
+		{Kind: trace.KindEnergy, Round: 0, Node: 0, Joules: 0.25, Aux: trace.EnergyRecv},
+	}, base)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("conserved stream rejected: %v", err)
+	}
+	// Traced sum deviates from the ledger.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindEnergy, Round: 0, Node: 0, Joules: 0.3, Aux: trace.EnergySend},
+	}, base)
+	if violations(t, rep, "energy") != 1 {
+		t.Fatal("deviation accepted")
+	}
+	// Ledger charge with no trace event at all.
+	rep = Check(nil, base)
+	if violations(t, rep, "energy") != 1 {
+		t.Fatal("silent ledger charge accepted")
+	}
+	// Debit for a node outside the ledger.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindEnergy, Round: 0, Node: 7, Joules: 0.5, Aux: trace.EnergySend},
+	}, base)
+	if violations(t, rep, "energy") != 2 { // out-of-ledger + node 0 unpaid
+		t.Fatalf("got %d energy violations", len(rep.Violations))
+	}
+	// Negative debit and root debit.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindEnergy, Round: 0, Node: 0, Joules: -1, Aux: trace.EnergySend},
+		{Kind: trace.KindEnergy, Round: 0, Node: -1, Joules: 0.1, Aux: trace.EnergySend},
+	}, Config{})
+	if violations(t, rep, "energy") != 2 {
+		t.Fatalf("got %v", rep.Violations)
+	}
+}
+
+func TestAccountingViolations(t *testing.T) {
+	// A send answered by neither a reception nor a drop.
+	rep := Check([]trace.Event{
+		{Kind: trace.KindSend, Round: 3, Node: 1, Peer: 0, Cast: trace.Unicast},
+	}, Config{})
+	if violations(t, rep, "accounting") != 1 {
+		t.Fatal("lost-without-drop send accepted")
+	}
+	// A reception without a send.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindReceive, Round: 3, Node: 0, Peer: 1, Cast: trace.Unicast},
+	}, Config{})
+	if violations(t, rep, "accounting") != 1 {
+		t.Fatal("phantom reception accepted")
+	}
+	// Rounds are accounted independently.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindSend, Round: 0, Node: 1, Peer: 0, Cast: trace.Unicast},
+		{Kind: trace.KindReceive, Round: 1, Node: 0, Peer: 1, Cast: trace.Unicast},
+	}, Config{})
+	if violations(t, rep, "accounting") != 2 {
+		t.Fatal("cross-round matching slipped through")
+	}
+}
+
+func TestBroadcastAccounting(t *testing.T) {
+	cfg := Config{BroadcastSends: 2, BroadcastReceives: 3}
+	flood := []trace.Event{
+		{Kind: trace.KindSend, Round: 0, Node: -1, Peer: -1, Cast: trace.Broadcast},
+		{Kind: trace.KindReceive, Round: 0, Node: 0, Cast: trace.Broadcast},
+		{Kind: trace.KindSend, Round: 0, Node: 0, Peer: -1, Cast: trace.Broadcast},
+		{Kind: trace.KindReceive, Round: 0, Node: 1, Cast: trace.Broadcast},
+		{Kind: trace.KindReceive, Round: 0, Node: 2, Cast: trace.Broadcast},
+	}
+	if err := Check(flood, cfg).Err(); err != nil {
+		t.Fatalf("clean flood rejected: %v", err)
+	}
+	// Two floods.
+	if err := Check(append(append([]trace.Event{}, flood...), flood...), cfg).Err(); err != nil {
+		t.Fatalf("two clean floods rejected: %v", err)
+	}
+	// A missing retransmission breaks the multiple.
+	rep := Check(flood[:len(flood)-1], Config{BroadcastSends: 2, BroadcastReceives: 3})
+	if violations(t, rep, "accounting") == 0 {
+		t.Fatal("short flood accepted")
+	}
+	// A broadcast drop is impossible by construction.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindDrop, Round: 0, Node: 1, Cast: trace.Broadcast},
+	}, Config{})
+	if violations(t, rep, "accounting") != 1 {
+		t.Fatal("broadcast drop accepted")
+	}
+}
+
+func TestFramingViolations(t *testing.T) {
+	s := msg.DefaultSizes()
+	cfg := Config{Sizes: s, HasSizes: true}
+
+	// Wrong frame count (the unmatched send additionally trips the
+	// accounting invariant — count kinds without judging the mix).
+	e := sendEvent(0, 1, 0, s.PayloadBits+1)
+	e.Frames = 1
+	rep := Check([]trace.Event{e}, cfg)
+	if countKind(rep, "accounting") != 1 {
+		t.Fatal("expected the unmatched-send accounting violation")
+	}
+	if countKind(rep, "framing") == 0 {
+		t.Fatal("wrong frame count accepted")
+	}
+
+	// Wrong wire bits.
+	e = sendEvent(0, 1, 0, 16)
+	e.Wire = 16
+	rep = Check([]trace.Event{e}, cfg)
+	if countKind(rep, "framing") == 0 {
+		t.Fatal("wrong wire size accepted")
+	}
+
+	// Fragment marker on a single-frame payload.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindFragment, Round: 0, Node: 1, Bits: 16, Wire: s.WireBits(16), Frames: 1},
+	}, cfg)
+	if violations(t, rep, "framing") != 1 {
+		t.Fatal("single-frame fragment marker accepted")
+	}
+}
+
+func countKind(rep Report, invariant string) int {
+	n := 0
+	for _, v := range rep.Violations {
+		if v.Invariant == invariant {
+			n++
+		}
+	}
+	return n
+}
+
+func TestReportErr(t *testing.T) {
+	var rep Report
+	if rep.Err() != nil {
+		t.Fatal("empty report errored")
+	}
+	for i := 0; i < 8; i++ {
+		rep.violate(i, "quantile", "synthetic violation %d", i)
+	}
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("violations not reported")
+	}
+	if !strings.Contains(err.Error(), "8 invariant violation(s)") {
+		t.Fatalf("error %q does not carry the count", err)
+	}
+	if !strings.Contains(err.Error(), "…and 3 more") {
+		t.Fatalf("error %q does not truncate", err)
+	}
+	if got := (Violation{Round: -1, Invariant: "energy", Detail: "x"}).String(); strings.Contains(got, "round") {
+		t.Fatalf("run-level violation mentions a round: %q", got)
+	}
+}

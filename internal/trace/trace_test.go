@@ -1,0 +1,221 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKindText(t *testing.T) {
+	for k := KindRoundStart; k <= KindRefine; k++ {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%d): %v", k, err)
+		}
+		var back Kind
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != k {
+			t.Fatalf("kind %d round-tripped to %d via %q", k, back, text)
+		}
+	}
+	var k Kind
+	if err := k.UnmarshalText([]byte("bogus")); err == nil {
+		t.Fatal("unmarshaling an unknown kind name should fail")
+	}
+}
+
+func TestCastText(t *testing.T) {
+	for _, c := range []Cast{Unicast, Broadcast} {
+		text, err := c.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%d): %v", c, err)
+		}
+		var back Cast
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", text, err)
+		}
+		if back != c {
+			t.Fatalf("cast %d round-tripped to %d", c, back)
+		}
+	}
+	var c Cast
+	if err := c.UnmarshalText([]byte("anycast")); err == nil {
+		t.Fatal("unmarshaling an unknown cast should fail")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 5; i++ {
+		r.Collect(Event{Kind: KindSend, Round: i})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", r.Len())
+	}
+	for i, e := range r.Events() {
+		if e.Round != i {
+			t.Fatalf("event %d has round %d", i, e.Round)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Collect(Event{Kind: KindSend, Round: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	if r.Evicted() != 4 {
+		t.Fatalf("Evicted() = %d, want 4", r.Evicted())
+	}
+	got := r.Events()
+	for i, want := range []int{4, 5, 6} {
+		if got[i].Round != want {
+			t.Fatalf("Events()[%d].Round = %d, want %d (oldest-first order)", i, got[i].Round, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Evicted() != 0 {
+		t.Fatalf("Reset left Len=%d Evicted=%d", r.Len(), r.Evicted())
+	}
+	// Partially filled ring keeps insertion order.
+	r.Collect(Event{Round: 9})
+	if got := r.Events(); len(got) != 1 || got[0].Round != 9 {
+		t.Fatalf("partially filled ring returned %v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: KindRoundStart, Round: 0, Node: -1},
+		{Kind: KindSend, Round: 0, Phase: "collect", Node: 3, Peer: 1, Cast: Unicast, Bits: 160, Wire: 288, Frames: 1, Values: 10},
+		{Kind: KindEnergy, Round: 0, Node: 3, Wire: 288, Joules: 0.0001234, Aux: EnergySend},
+		{Kind: KindDecision, Round: 0, Node: -1, Value: 42, Aux: 7},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		w.Collect(e)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("Writer error: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(events) {
+		t.Fatalf("wrote %d lines for %d events", lines, len(events))
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, wrote %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d round-tripped to %+v, want %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestJSONLWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Collect(Event{Kind: KindSend})
+	if w.Err() == nil {
+		t.Fatal("writer should report the underlying write error")
+	}
+	w.Collect(Event{Kind: KindSend}) // must not panic, error stays
+	if w.Err() == nil {
+		t.Fatal("writer error should be sticky")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "synthetic write failure" }
+
+func TestReadEventsRejectsGarbage(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"kind\":\"send\"}\nnot json\n")); err == nil {
+		t.Fatal("ReadEvents should reject malformed lines")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := NewMetrics()
+	for _, e := range []Event{
+		{Kind: KindRoundStart, Round: 0, Node: -1},
+		{Kind: KindSend, Round: 0, Node: 2, Peer: 1, Bits: 16, Wire: 144, Frames: 1, Values: 1},
+		{Kind: KindReceive, Round: 0, Node: 1, Peer: 2, Bits: 16, Wire: 144},
+		{Kind: KindSend, Round: 0, Node: 1, Peer: 0, Bits: 32, Wire: 160, Frames: 1, Values: 2},
+		{Kind: KindDrop, Round: 0, Node: 1, Peer: 0},
+		{Kind: KindEnergy, Round: 0, Node: 2, Wire: 144, Joules: 0.5, Aux: EnergySend},
+		{Kind: KindEnergy, Round: 0, Node: 1, Wire: 144, Joules: 0.25, Aux: EnergyRecv},
+		{Kind: KindRefine, Round: 1, Node: -1, Value: 10, Aux: 20, Values: 3},
+		{Kind: KindDecision, Round: 1, Node: -1, Value: 99, Aux: 5},
+		{Kind: KindEnergy, Round: 1, Node: 2, Joules: 0.125, Aux: EnergySend},
+	} {
+		m.Collect(e)
+	}
+
+	n2 := m.Node(2)
+	if n2.Sends != 1 || n2.BitsOut != 144 || n2.Joules != 0.625 {
+		t.Fatalf("node 2 stats = %+v", n2)
+	}
+	n1 := m.Node(1)
+	if n1.Sends != 1 || n1.Receives != 1 || n1.BitsIn != 144 || n1.Joules != 0.25 {
+		t.Fatalf("node 1 stats = %+v", n1)
+	}
+
+	r0 := m.Round(0)
+	if r0.Sends != 2 || r0.Receives != 1 || r0.Drops != 1 || r0.Joules != 0.75 {
+		t.Fatalf("round 0 stats = %+v", r0)
+	}
+	r1 := m.Round(1)
+	if !r1.Decided || r1.Decision != 99 || r1.K != 5 || r1.Refines != 1 {
+		t.Fatalf("round 1 stats = %+v", r1)
+	}
+
+	tl := m.EnergyTimeline()
+	if len(tl) != 2 || tl[0] != 0.75 || tl[1] != 0.125 {
+		t.Fatalf("energy timeline = %v", tl)
+	}
+
+	// Out-of-range accessors return zero values, not panics.
+	if got := m.Node(99); got != (NodeStats{}) {
+		t.Fatalf("Node(99) = %+v, want zero", got)
+	}
+	if got := m.Round(99); got != (RoundStats{}) {
+		t.Fatalf("Round(99) = %+v, want zero", got)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Fatal("Multi() should be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi(nil, nil) should be nil")
+	}
+	a := NewRecorder()
+	if got := Multi(nil, a); got != a {
+		t.Fatal("Multi with one live collector should return it unwrapped")
+	}
+	b := NewRecorder()
+	m := Multi(a, nil, b)
+	m.Collect(Event{Kind: KindSend, Round: 3})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out reached a=%d b=%d collectors", a.Len(), b.Len())
+	}
+	if a.Events()[0].Round != 3 || b.Events()[0].Round != 3 {
+		t.Fatal("fan-out altered the event")
+	}
+}

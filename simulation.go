@@ -54,6 +54,11 @@ func NewSimulation(cfg Config, alg Algorithm) (*Simulation, error) {
 	return &Simulation{rt: rt, alg: f(), k: icfg.K()}, nil
 }
 
+// SetTrace attaches a flight recorder to the simulation (nil detaches):
+// c receives every subsequent event — rounds, per-hop traffic, energy
+// debits, and the decision recorded by each Step.
+func (s *Simulation) SetTrace(c TraceCollector) { s.rt.SetTrace(c) }
+
 // K returns the queried rank.
 func (s *Simulation) K() int { return s.k }
 
@@ -84,6 +89,7 @@ func (s *Simulation) Step() (RoundResult, error) {
 	if err != nil {
 		return RoundResult{}, fmt.Errorf("round %d: %w", s.round, err)
 	}
+	s.rt.TraceDecision(s.k, q)
 	st := s.rt.Stats()
 	_, hotspot := s.rt.Ledger().MaxSpent()
 	return RoundResult{

@@ -1,0 +1,63 @@
+package wsnq_test
+
+// Golden-trace regression test: a pinned study must reproduce the exact
+// flight-recorder event stream, byte for byte. Any change to the
+// simulation order, the loss sampling, the energy model, the protocol
+// logic, or the event encoding shows up here as a digest mismatch —
+// that is the point. When such a change is intentional, re-pin:
+//
+//	go test -run TestGoldenTraceDigest -v .   # prints the new digest
+//
+// and update goldenTraceDigest below, explaining the behavior change in
+// the commit message.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"wsnq"
+)
+
+const goldenTraceDigest = "a376a5ac254d6cdab1998f462806cb2652e769cde1276c9a5dff436a3ed6f4eb"
+
+func goldenConfig() wsnq.Config {
+	cfg := wsnq.DefaultConfig()
+	cfg.Nodes = 60
+	cfg.Area = 120
+	cfg.Rounds = 25
+	cfg.Runs = 1
+	cfg.Seed = 7
+	cfg.LossProb = 0.05
+	return cfg
+}
+
+func TestGoldenTraceDigest(t *testing.T) {
+	h := sha256.New()
+	if _, err := wsnq.Run(goldenConfig(), wsnq.IQ, wsnq.WithTraceJSONL(h)); err != nil {
+		t.Fatal(err)
+	}
+	got := hex.EncodeToString(h.Sum(nil))
+	t.Logf("trace digest: %s", got)
+	if got != goldenTraceDigest {
+		t.Errorf("golden trace digest changed:\n  got  %s\n  want %s\n"+
+			"The pinned study no longer produces the same event stream. If the\n"+
+			"behavior change is intentional, update goldenTraceDigest.", got, goldenTraceDigest)
+	}
+}
+
+// TestGoldenTraceStable re-runs the pinned study and requires the same
+// digest, independently of the committed constant: tracing must be
+// deterministic run to run.
+func TestGoldenTraceStable(t *testing.T) {
+	digest := func() string {
+		h := sha256.New()
+		if _, err := wsnq.Run(goldenConfig(), wsnq.IQ, wsnq.WithTraceJSONL(h)); err != nil {
+			t.Fatal(err)
+		}
+		return hex.EncodeToString(h.Sum(nil))
+	}
+	if a, b := digest(), digest(); a != b {
+		t.Errorf("trace stream is not deterministic: %s vs %s", a, b)
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"wsnq/internal/experiment"
 	"wsnq/internal/msg"
 	"wsnq/internal/protocol"
+	"wsnq/internal/trace"
 )
 
 // Algorithm names a quantile protocol.
@@ -355,6 +356,47 @@ func WithParallelism(n int) Option {
 // serialized; done increases by one per call.
 func WithProgress(fn func(done, total int)) Option {
 	return func(o *engineOptions) { o.exp.Progress = fn }
+}
+
+// TraceEvent is one flight-recorder record (see internal/trace for the
+// event vocabulary: rounds, per-hop sends/receives/drops, fragmentation,
+// energy debits, decisions, refinement requests).
+type TraceEvent = trace.Event
+
+// TraceCollector consumes a flight-recorder event stream. Ready-made
+// collectors live in internal/trace (ring buffer, recorder, JSONL
+// writer, metrics aggregator); any Collect(TraceEvent) implementation
+// works.
+type TraceCollector = trace.Collector
+
+// WithTrace attaches a flight recorder to the study: c receives the
+// event stream of every simulation run. Tracing forces strictly
+// sequential execution in deterministic grid order, so a shared
+// collector never sees interleaved runs.
+func WithTrace(c TraceCollector) Option {
+	return func(o *engineOptions) {
+		if c == nil {
+			o.exp.Trace = nil
+			return
+		}
+		o.exp.Trace = func(experiment.TraceJob) trace.Collector { return c }
+	}
+}
+
+// WithTraceJSONL streams the flight-recorder events of every simulation
+// run to w as JSON Lines (one event per line, in deterministic order).
+// The writer is not flushed or closed; wrap a *bufio.Writer and flush it
+// after the study returns.
+func WithTraceJSONL(w io.Writer) Option {
+	return WithTrace(NewTraceJSONL(w))
+}
+
+// NewTraceJSONL returns a collector that serializes every event to w as
+// one JSON object per line — for Simulation.SetTrace and
+// FigureOptions.Trace, where an Option does not apply. The writer is not
+// flushed or closed by the collector.
+func NewTraceJSONL(w io.Writer) TraceCollector {
+	return trace.NewWriter(w)
 }
 
 func resolveOptions(opts []Option) experiment.Options {
