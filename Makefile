@@ -1,7 +1,26 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: build test check bench race vet fmt fuzz-smoke oracle trace-guard
+.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry
+
+# help lists the targets; keep the `##` summaries next to the targets
+# they describe.
+help:
+	@echo "wsnq targets:"
+	@echo "  build       compile every package and tool"
+	@echo "  test        run the full test suite"
+	@echo "  check       the merge gate: vet + race + oracle + telemetry + fuzz-smoke"
+	@echo "  vet         static analysis"
+	@echo "  race        full suite under the race detector"
+	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
+	@echo "  telemetry   registry race test and snapshot-determinism test under -race"
+	@echo "  fuzz-smoke  short fresh-input budget for every fuzz target"
+	@echo "  trace-guard disabled-tracer overhead vs the 2% budget (idle machine)"
+	@echo "  bench       run all Go benchmarks with -benchmem"
+	@echo "  bench-json  measure tracked hot paths into BENCH_<date>.json; the"
+	@echo "              regression guard (TestBenchRegressionGuard) diffs the"
+	@echo "              newest two sessions and fails on >15% hot-path slowdown"
+	@echo "  fmt         gofmt the tree"
 
 build:
 	$(GO) build ./...
@@ -20,6 +39,12 @@ race:
 oracle:
 	$(GO) test ./internal/trace/...
 
+# telemetry gates the metrics registry: the concurrent-hammer test must
+# pass under the race detector and snapshots must encode
+# deterministically.
+telemetry:
+	$(GO) test -race -run '^(TestRegistryConcurrent|TestSnapshotDeterminism)$$' -v ./internal/telemetry/
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on
 # top of the committed corpus (go test -fuzz accepts one target at a
 # time, hence one invocation per target).
@@ -37,11 +62,18 @@ trace-guard:
 
 # check is the gate every change must pass: static analysis, the full
 # suite under the race detector (the parallel engine makes this the
-# interesting configuration), the oracle suite, and a fuzz smoke run.
-check: vet race oracle fuzz-smoke
+# interesting configuration), the oracle suite, the telemetry gate, and
+# a fuzz smoke run.
+check: vet race oracle telemetry fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem .
+
+# bench-json appends one session to the perf trajectory: commit the
+# produced BENCH_<date>.json and TestBenchRegressionGuard will diff it
+# against the previous session.
+bench-json: build
+	$(GO) run ./cmd/wsnq-bench -json
 
 fmt:
 	gofmt -l -w .

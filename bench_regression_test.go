@@ -1,0 +1,50 @@
+package wsnq
+
+import (
+	"testing"
+
+	"wsnq/internal/benchfmt"
+)
+
+// regressionBudget is the tolerated hot-path slowdown between two
+// consecutive benchmark sessions (15%).
+const regressionBudget = 0.15
+
+// TestBenchRegressionGuard is the continuous-benchmarking gate: it
+// parses every committed BENCH_*.json (a malformed file always fails)
+// and, once at least two sessions exist, diffs the newest two and fails
+// when a tracked hot path slowed down by more than the budget.
+//
+// Generate a new session with `make bench-json` (wsnq-bench -json) and
+// commit the produced file; the file-name date keeps the sessions in
+// chronological order.
+func TestBenchRegressionGuard(t *testing.T) {
+	files, err := benchfmt.List(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no BENCH_*.json committed; run `make bench-json` once to seed the perf trajectory")
+	}
+	sessions := make([]benchfmt.File, len(files))
+	for i, path := range files {
+		f, err := benchfmt.ReadFile(path)
+		if err != nil {
+			t.Fatalf("unparseable benchmark session: %v", err)
+		}
+		if len(f.Results) == 0 {
+			t.Errorf("%s: no results", path)
+		}
+		sessions[i] = f
+	}
+	if len(files) < 2 {
+		t.Skipf("only %d session (%s); need two to diff", len(files), files[0])
+	}
+
+	oldF, newF := sessions[len(sessions)-2], sessions[len(sessions)-1]
+	t.Logf("diffing %s -> %s", files[len(files)-2], files[len(files)-1])
+	regs := benchfmt.Regressions(oldF, newF, benchfmt.TrackedHotPaths(), regressionBudget)
+	for _, r := range regs {
+		t.Errorf("hot-path regression: %s", r)
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"wsnq"
+	"wsnq/internal/benchfmt"
+)
+
+// runBenchJSON is the continuous-benchmarking mode: it measures every
+// tracked hot path with testing.Benchmark, pairs each sample with the
+// domain costs of a short study (frames and hottest-node energy per
+// round), and writes one schema-versioned BENCH_<date>.json for the
+// regression guard to diff against the previous session.
+func runBenchJSON(out string) error {
+	f := benchfmt.File{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	if out == "" {
+		out = benchfmt.Filename(time.Now())
+	}
+
+	// The per-round protocol hot paths, mirroring bench_test.go's
+	// BenchmarkRound* (|N| = 500, one warm simulation stepped in place).
+	for _, alg := range wsnq.StandardAlgorithms() {
+		name := "Round" + strings.ReplaceAll(string(alg), "-", "")
+		fmt.Fprintf(os.Stderr, "wsnq-bench: measuring %s...\n", name)
+		res := testing.Benchmark(func(b *testing.B) {
+			cfg := wsnq.DefaultConfig()
+			cfg.Nodes = 500
+			cfg.Rounds = 1 << 30 // stepped manually
+			cfg.Runs = 1
+			sim, err := wsnq.NewSimulation(cfg, alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Step(); err != nil { // initialization round
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// Domain costs from a short averaged study on the same cell.
+		cfg := wsnq.DefaultConfig()
+		cfg.Nodes = 500
+		cfg.Rounds = 40
+		cfg.Runs = 1
+		m, err := wsnq.Run(cfg, alg)
+		if err != nil {
+			return fmt.Errorf("%s study: %w", name, err)
+		}
+
+		f.Results = append(f.Results, benchfmt.Result{
+			Name:           name,
+			NsPerOp:        float64(res.NsPerOp()),
+			BytesPerOp:     res.AllocedBytesPerOp(),
+			AllocsPerOp:    res.AllocsPerOp(),
+			FramesPerRound: m.FramesPerRound,
+			EnergyPerRound: m.MaxNodeEnergyPerRound,
+		})
+	}
+
+	// One whole-study engine sample: a shared-deployment comparison of
+	// the standard line-up (no per-round interpretation).
+	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring EngineCompare...")
+	res := testing.Benchmark(func(b *testing.B) {
+		cfg := wsnq.DefaultConfig()
+		cfg.Nodes = 200
+		cfg.Rounds = 50
+		cfg.Runs = 4
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wsnq.Compare(cfg, wsnq.StandardAlgorithms()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f.Results = append(f.Results, benchfmt.Result{
+		Name:        "EngineCompare",
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	})
+
+	if err := benchfmt.WriteFile(out, f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wsnq-bench: wrote %s (%d results)\n", out, len(f.Results))
+	return nil
+}

@@ -8,6 +8,8 @@
 //	wsnq-bench -fig all -metric energy,lifetime
 //	wsnq-bench -fig fig6 -scale 1 -par 8 -progress
 //	wsnq-bench -list
+//	wsnq-bench -json                    # write BENCH_<date>.json for the regression guard
+//	wsnq-bench -fig fig6 -http :8080    # live /metrics, /health, /debug/pprof
 //
 // Scale 1.0 is the paper's full 20 runs × 250 rounds; the default 0.1
 // reproduces the shapes in seconds. Sweeps run on the parallel engine
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"wsnq"
+	"wsnq/internal/cli"
 )
 
 func main() {
@@ -43,6 +46,9 @@ func main() {
 		par       = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 		traceFile = flag.String("trace", "", "write the flight-recorder event stream of every run to FILE as JSON Lines (forces sequential runs)")
+		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /debug/pprof; forces sequential runs)")
+		jsonBench = flag.Bool("json", false, "continuous-benchmarking mode: measure the tracked hot paths and write a BENCH_<date>.json")
+		jsonOut   = flag.String("out", "", "with -json: output file (default BENCH_<today>.json)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,13 @@ func main() {
 	if *list {
 		for _, f := range wsnq.Figures() {
 			fmt.Printf("%-12s %s\n             %s\n", f.ID, f.Title, f.Description)
+		}
+		return
+	}
+	if *jsonBench {
+		if err := runBenchJSON(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -93,6 +106,15 @@ func main() {
 		}()
 		opts.Trace = wsnq.NewTraceJSONL(bw)
 	}
+	var tel *wsnq.Telemetry
+	if *httpAddr != "" {
+		tel = wsnq.NewTelemetry()
+		if _, err := cli.ServeHTTP(ctx, "wsnq-bench", *httpAddr, tel.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts.Telemetry = tel
+	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
@@ -117,6 +139,9 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if tel != nil {
+		cli.Linger(ctx, "wsnq-bench")
 	}
 }
 

@@ -7,6 +7,7 @@
 //	wsnq-sim -dataset pressure -skip 4 -pessimistic -alg all
 //	wsnq-sim -phi 0.9 -period 32 -noise 20 -loss 0.05 -alg IQ
 //	wsnq-sim -nodes 40 -rounds 25 -runs 1 -alg IQ -trace run.jsonl
+//	wsnq-sim -rounds 250 -runs 20 -http :8080   # live /metrics, /health, /debug/pprof
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"syscall"
 
 	"wsnq"
+	"wsnq/internal/cli"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 		par       = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "report engine progress on stderr")
 		traceFile = flag.String("trace", "", "write the flight-recorder event stream to FILE as JSON Lines (forces sequential runs)")
+		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /debug/pprof; forces sequential runs)")
 	)
 	flag.Parse()
 
@@ -93,6 +96,15 @@ func main() {
 			}
 		}))
 	}
+	var tel *wsnq.Telemetry
+	if *httpAddr != "" {
+		tel = wsnq.NewTelemetry()
+		if _, err := cli.ServeHTTP(ctx, "wsnq-sim", *httpAddr, tel.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts = append(opts, wsnq.WithTelemetry(tel))
+	}
 	var flushTrace func() error
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -132,6 +144,21 @@ func main() {
 			printAnatomy(m)
 		}
 	}
+
+	if tel != nil {
+		h := tel.Health()
+		fmt.Printf("\nnetwork health: Jain(energy)=%.3f  hotspot node %d (%.0f%% of drain)  projected first death: %.0f rounds\n",
+			h.JainEnergy, h.Lifetime.HottestNode, 100*topShare(h), h.Lifetime.ProjectedRounds)
+		cli.Linger(ctx, "wsnq-sim")
+	}
+}
+
+// topShare returns the hottest node's share of network energy.
+func topShare(h wsnq.HealthReport) float64 {
+	if len(h.Hotspots) == 0 {
+		return 0
+	}
+	return h.Hotspots[0].Share
 }
 
 // printAnatomy renders the per-phase traffic shares of one algorithm.

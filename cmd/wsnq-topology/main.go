@@ -8,18 +8,24 @@
 //	wsnq-topology -nodes 300 -dataset pressure -format svg > map.svg
 //	wsnq-topology -format dot | dot -Tpng > tree.png
 //	wsnq-topology -nodes 100 -trace probe.jsonl
+//	wsnq-topology -nodes 100 -http :8080   # probe-round /metrics, /health, /debug/pprof
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"wsnq/internal/baseline"
+	"wsnq/internal/cli"
 	"wsnq/internal/experiment"
 	"wsnq/internal/report"
+	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 	"wsnq/internal/wsn"
 )
@@ -35,8 +41,12 @@ func main() {
 		format     = flag.String("format", "stats", "stats, dot, or svg")
 		pixels     = flag.Int("pixels", 600, "svg: image size in pixels")
 		traceFile  = flag.String("trace", "", "record one TAG collection round on this deployment to FILE as JSON Lines")
+		httpAddr   = flag.String("http", "", "serve the probe round's telemetry on ADDR (/metrics, /health, /debug/pprof)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg, err := buildConfig(*dataset, *nodes, *area, *radioRange, *seed, *bfs)
 	if err != nil {
@@ -49,10 +59,47 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The probe round's flight-recorder stream can go to a JSONL file,
+	// the health analyzer behind -http, or both.
+	var collectors []trace.Collector
+	var flushTrace func() error
 	if *traceFile != "" {
-		if err := traceProbe(cfg, *traceFile); err != nil {
+		f, err := os.Create(*traceFile)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
 			os.Exit(1)
+		}
+		bw := bufio.NewWriter(f)
+		collectors = append(collectors, trace.NewWriter(bw))
+		flushTrace = func() error {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			return f.Close()
+		}
+	}
+	var an *telemetry.Analyzer
+	if *httpAddr != "" {
+		reg := telemetry.NewRegistry()
+		reg.Gauge("topology.nodes").Set(float64(top.N()))
+		reg.Gauge("topology.max_depth").Set(float64(top.MaxDepth()))
+		an = telemetry.NewAnalyzer(cfg.Energy.InitialBudget)
+		if _, err := cli.ServeHTTP(ctx, "wsnq-topology", *httpAddr, telemetry.Handler(reg, an)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		collectors = append(collectors, an)
+	}
+	if len(collectors) > 0 {
+		if err := traceProbe(cfg, trace.Multi(collectors...)); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+			os.Exit(1)
+		}
+		if flushTrace != nil {
+			if err := flushTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-topology: trace:", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -76,6 +123,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "wsnq-topology: unknown format %q\n", *format)
 		os.Exit(1)
+	}
+
+	if an != nil {
+		cli.Linger(ctx, "wsnq-topology")
 	}
 }
 
@@ -119,29 +170,19 @@ func build(cfg experiment.Config) (*wsn.Topology, error) {
 // convergecast of every reading) on run 0's deployment, so the event
 // stream shows exactly which hops carry how much traffic on the
 // inspected tree.
-func traceProbe(cfg experiment.Config, file string) error {
+func traceProbe(cfg experiment.Config, c trace.Collector) error {
 	rt, err := experiment.BuildRuntime(cfg, 0)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(file)
-	if err != nil {
-		return err
-	}
-	bw := bufio.NewWriter(f)
-	rt.SetTrace(trace.NewWriter(bw))
+	rt.SetTrace(c)
 	k := cfg.K()
 	q, err := baseline.NewTAG().Init(rt, k)
 	if err != nil {
-		f.Close()
 		return err
 	}
 	rt.TraceDecision(k, q)
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // printStats reports the structural properties that drive the hotspot

@@ -8,6 +8,7 @@
 //	wsnq-trace -rounds 125 -format csv > xi_trace.csv
 //	wsnq-trace -rounds 60 -format ascii
 //	wsnq-trace -rounds 60 -events events.jsonl
+//	wsnq-trace -rounds 125 -http :8080   # live /metrics, /health, /debug/pprof
 package main
 
 import (
@@ -20,15 +21,17 @@ import (
 	"syscall"
 
 	"wsnq"
+	"wsnq/internal/cli"
 )
 
 func main() {
 	var (
-		nodes  = flag.Int("nodes", 300, "number of sensor nodes")
-		rounds = flag.Int("rounds", 125, "rounds to trace")
-		seed   = flag.Int64("seed", 1, "seed")
-		format = flag.String("format", "csv", "csv or ascii")
-		events = flag.String("events", "", "also write the flight-recorder event stream to FILE as JSON Lines")
+		nodes    = flag.Int("nodes", 300, "number of sensor nodes")
+		rounds   = flag.Int("rounds", 125, "rounds to trace")
+		seed     = flag.Int64("seed", 1, "seed")
+		format   = flag.String("format", "csv", "csv or ascii")
+		events   = flag.String("events", "", "also write the flight-recorder event stream to FILE as JSON Lines")
+		httpAddr = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,9 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The JSONL writer and the telemetry analyzer share the one trace
+	// hook through a fan-out collector.
+	var collectors []wsnq.TraceCollector
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
@@ -64,7 +70,19 @@ func main() {
 				fmt.Fprintln(os.Stderr, "wsnq-trace: events:", err)
 			}
 		}()
-		s.SetTrace(wsnq.NewTraceJSONL(bw))
+		collectors = append(collectors, wsnq.NewTraceJSONL(bw))
+	}
+	var tel *wsnq.Telemetry
+	if *httpAddr != "" {
+		tel = wsnq.NewTelemetry()
+		if _, err := cli.ServeHTTP(ctx, "wsnq-trace", *httpAddr, tel.Handler()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		collectors = append(collectors, tel.Collector())
+	}
+	if len(collectors) > 0 {
+		s.SetTrace(wsnq.MultiCollector(collectors...))
 	}
 
 	if *format == "csv" {
@@ -129,5 +147,8 @@ func main() {
 			fmt.Printf("%4d %s|%s| q=%d Ξ=[%d,%d]\n",
 				res.Round, marker, line, res.Quantile, filter+xiL, filter+xiR)
 		}
+	}
+	if tel != nil {
+		cli.Linger(ctx, "wsnq-trace")
 	}
 }

@@ -71,6 +71,11 @@ type FigureOptions struct {
 	// simulation run of the figure, as in WithTrace. Tracing forces
 	// sequential execution in deterministic grid order.
 	Trace TraceCollector
+	// Telemetry, when non-nil, attaches a live telemetry sink, as in
+	// WithTelemetry: the engine feeds its metrics registry and the
+	// health analyzer consumes the flight-recorder stream (which, like
+	// Trace, forces sequential execution).
+	Telemetry *Telemetry
 }
 
 func (o *FigureOptions) engine() experiment.Options {
@@ -78,6 +83,17 @@ func (o *FigureOptions) engine() experiment.Options {
 	if o.Trace != nil {
 		c := o.Trace
 		opts.Trace = func(experiment.TraceJob) trace.Collector { return c }
+	}
+	if o.Telemetry != nil {
+		opts.Telemetry = o.Telemetry.reg
+		prev := opts.Trace
+		an := o.Telemetry.an
+		opts.Trace = func(j experiment.TraceJob) trace.Collector {
+			if prev == nil {
+				return an
+			}
+			return trace.Multi(prev(j), an)
+		}
 	}
 	return opts
 }

@@ -1,0 +1,174 @@
+// Package benchfmt defines the continuous-benchmarking interchange
+// format: schema-versioned BENCH_<date>.json files holding one
+// performance sample per benchmark (ns/op, allocs, plus the domain
+// costs — frames and energy per simulated round), and the regression
+// arithmetic that diffs two such files.
+//
+// The file name embeds an ISO date (BENCH_2026-08-05.json), so plain
+// lexicographic order of the file names is chronological order; the
+// newest two files are the "before" and "after" of the regression
+// guard in the root package.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH JSON layout. Decode rejects files
+// written by a different schema, so the regression guard never compares
+// incompatible measurements.
+const SchemaVersion = 1
+
+// FilePrefix and FileSuffix frame the benchmark file names.
+const (
+	FilePrefix = "BENCH_"
+	FileSuffix = ".json"
+)
+
+// File is one benchmarking session: every tracked benchmark measured on
+// one day on one machine.
+type File struct {
+	Schema    int      `json:"schema"`
+	Date      string   `json:"date"` // ISO YYYY-MM-DD
+	GoVersion string   `json:"go_version,omitempty"`
+	GOOS      string   `json:"goos,omitempty"`
+	GOARCH    string   `json:"goarch,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one benchmark's sample. The domain costs are zero for
+// benchmarks without a per-round interpretation (e.g. whole-study
+// engine benchmarks).
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	FramesPerRound float64 `json:"frames_per_round,omitempty"`
+	EnergyPerRound float64 `json:"max_node_j_per_round,omitempty"`
+}
+
+// TrackedHotPaths lists the benchmarks the regression guard watches: the
+// per-round protocol costs of the §5.1.6 line-up. A >15% slowdown of
+// any of them fails the guard.
+func TrackedHotPaths() []string {
+	return []string{
+		"RoundTAG", "RoundPOS", "RoundLCLLH", "RoundLCLLS", "RoundHBC", "RoundIQ",
+	}
+}
+
+// Filename returns the canonical file name for a session on the given
+// day, e.g. "BENCH_2026-08-05.json".
+func Filename(t time.Time) string {
+	return FilePrefix + t.Format("2006-01-02") + FileSuffix
+}
+
+// Result returns the sample of one benchmark by name.
+func (f File) Result(name string) (Result, bool) {
+	for _, r := range f.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Encode writes f as indented, deterministic JSON.
+func Encode(w io.Writer, f File) error {
+	f.Schema = SchemaVersion
+	sort.Slice(f.Results, func(i, j int) bool { return f.Results[i].Name < f.Results[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Decode parses a BENCH file and validates its schema version.
+func Decode(r io.Reader) (File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return File{}, fmt.Errorf("benchfmt: %w", err)
+	}
+	if f.Schema != SchemaVersion {
+		return File{}, fmt.Errorf("benchfmt: schema %d, this build reads %d", f.Schema, SchemaVersion)
+	}
+	return f, nil
+}
+
+// ReadFile loads and validates one BENCH file.
+func ReadFile(path string) (File, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return File{}, err
+	}
+	defer fd.Close()
+	f, err := Decode(fd)
+	if err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// WriteFile writes one BENCH file.
+func WriteFile(path string, f File) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Encode(fd, f); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+// List returns the BENCH_*.json files of dir in chronological (file
+// name) order.
+func List(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, FilePrefix+"*"+FileSuffix))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// Regression is one tracked benchmark that got slower than the
+// threshold allows between two sessions.
+type Regression struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	Slowdown float64 // fractional, e.g. 0.22 = 22% slower
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (+%.0f%%)",
+		r.Name, r.OldNs, r.NewNs, 100*r.Slowdown)
+}
+
+// Regressions diffs the tracked benchmarks of two sessions and returns
+// the ones whose ns/op grew by more than threshold (0.15 = 15%).
+// Benchmarks absent from either session are skipped: the guard watches
+// known hot paths, it does not enforce coverage.
+func Regressions(old, new File, tracked []string, threshold float64) []Regression {
+	var out []Regression
+	for _, name := range tracked {
+		o, okOld := old.Result(name)
+		n, okNew := new.Result(name)
+		if !okOld || !okNew || o.NsPerOp <= 0 {
+			continue
+		}
+		slowdown := n.NsPerOp/o.NsPerOp - 1
+		if slowdown > threshold {
+			out = append(out, Regression{Name: name, OldNs: o.NsPerOp, NewNs: n.NsPerOp, Slowdown: slowdown})
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package benchfmt
+
+import (
+	"bytes"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sample() File {
+	return File{
+		Date:      "2026-08-05",
+		GoVersion: "go1.24",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Results: []Result{
+			{Name: "RoundIQ", NsPerOp: 1000, AllocsPerOp: 12, FramesPerRound: 40, EnergyPerRound: 2e-5},
+			{Name: "RoundTAG", NsPerOp: 5000, AllocsPerOp: 80, FramesPerRound: 900},
+			{Name: "EngineCompare", NsPerOp: 2e8},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != SchemaVersion {
+		t.Errorf("schema = %d, want %d", f.Schema, SchemaVersion)
+	}
+	r, ok := f.Result("RoundIQ")
+	if !ok || r.NsPerOp != 1000 || r.FramesPerRound != 40 {
+		t.Errorf("RoundIQ = %+v, ok=%v", r, ok)
+	}
+	// Encode sorts results by name for deterministic files.
+	names := make([]string, len(f.Results))
+	for i, r := range f.Results {
+		names[i] = r.Name
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("results not sorted: %v", names)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	_, err := Decode(strings.NewReader(`{"schema": 99, "results": []}`))
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema error = %v", err)
+	}
+}
+
+func TestFilenameSortsChronologically(t *testing.T) {
+	dates := []time.Time{
+		time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC),
+		time.Date(2025, 12, 31, 0, 0, 0, 0, time.UTC),
+		time.Date(2026, 1, 2, 0, 0, 0, 0, time.UTC),
+	}
+	names := make([]string, len(dates))
+	for i, d := range dates {
+		names[i] = Filename(d)
+	}
+	if names[0] != "BENCH_2026-08-05.json" {
+		t.Fatalf("Filename = %q", names[0])
+	}
+	sort.Strings(names)
+	want := []string{"BENCH_2025-12-31.json", "BENCH_2026-01-02.json", "BENCH_2026-08-05.json"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sorted names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestListSortsFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-08-05.json", "BENCH_2025-01-01.json", "other.json"} {
+		if err := WriteFile(filepath.Join(dir, name), sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("List = %v, want the two BENCH files", files)
+	}
+	if filepath.Base(files[0]) != "BENCH_2025-01-01.json" || filepath.Base(files[1]) != "BENCH_2026-08-05.json" {
+		t.Errorf("List order = %v", files)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	old := sample()
+	cur := sample()
+	// IQ 30% slower, TAG 10% slower (within budget), EngineCompare not tracked.
+	cur.Results[0].NsPerOp = 1300
+	cur.Results[1].NsPerOp = 5500
+	cur.Results[2].NsPerOp = 9e9
+
+	regs := Regressions(old, cur, TrackedHotPaths(), 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly RoundIQ", regs)
+	}
+	r := regs[0]
+	if r.Name != "RoundIQ" || r.Slowdown < 0.29 || r.Slowdown > 0.31 {
+		t.Errorf("regression = %+v, want RoundIQ +30%%", r)
+	}
+	if !strings.Contains(r.String(), "RoundIQ") || !strings.Contains(r.String(), "+30%") {
+		t.Errorf("String() = %q", r.String())
+	}
+
+	// Speedups and missing benchmarks never fire.
+	cur.Results[0].NsPerOp = 100
+	if regs := Regressions(old, cur, TrackedHotPaths(), 0.15); len(regs) != 0 {
+		t.Errorf("speedup flagged as regression: %v", regs)
+	}
+	if regs := Regressions(File{}, cur, TrackedHotPaths(), 0.15); len(regs) != 0 {
+		t.Errorf("missing baseline flagged: %v", regs)
+	}
+}

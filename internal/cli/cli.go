@@ -1,0 +1,43 @@
+// Package cli holds the small pieces shared by the cmd tools — today
+// the -http flag behavior: every tool serves the same telemetry
+// surface (/metrics, /health, /debug/pprof) the same way.
+package cli
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+)
+
+// ServeHTTP implements the tools' shared -http flag: it binds addr,
+// serves h in the background until ctx is cancelled, and announces the
+// endpoints on stderr. The returned address is the bound one, so
+// ":0" works.
+func ServeHTTP(ctx context.Context, tool, addr string, h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("%s: -http %s: %w", tool, addr, err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	bound := ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "%s: telemetry on http://%s (/metrics /health /debug/pprof)\n", tool, bound)
+	return bound, nil
+}
+
+// Linger keeps a tool alive after its work completes so the operator
+// can still read the telemetry endpoints; it blocks until ctx is
+// cancelled (Ctrl-C).
+func Linger(ctx context.Context, tool string) {
+	if ctx.Err() != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: done — telemetry still serving, Ctrl-C to exit\n", tool)
+	<-ctx.Done()
+}

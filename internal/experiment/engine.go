@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 )
 
@@ -35,6 +37,18 @@ type Options struct {
 	// then runs — so a shared collector never sees interleaved streams
 	// and JSONL output is reproducible.
 	Trace func(job TraceJob) trace.Collector
+
+	// Telemetry, when non-nil, receives live engine and simulation
+	// metrics while the grid runs: job progress and ETA gauges
+	// (engine.jobs_total, engine.progress, engine.eta_seconds),
+	// throughput counters (engine.jobs_done, engine.jobs_failed),
+	// per-job wall-time histograms (engine.job_seconds, plus one
+	// per-algorithm series), and aggregate result histograms over the
+	// finished jobs (sim.max_node_j_per_round, sim.total_energy_j,
+	// sim.frames_per_round, sim.bits_per_round, sim.lifetime_rounds).
+	// The registry is safe for concurrent use, so — unlike Trace —
+	// telemetry alone does not force sequential execution.
+	Telemetry *telemetry.Registry
 }
 
 // TraceJob identifies one grid job handed to Options.Trace.
@@ -182,6 +196,12 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	start := time.Now()
+	if opts.Telemetry != nil {
+		opts.Telemetry.Gauge("engine.jobs_total").Set(float64(total))
+		opts.Telemetry.Gauge("engine.progress").Set(0)
+	}
+
 	var (
 		mu       sync.Mutex
 		done     int
@@ -194,15 +214,41 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 			errIdx, firstErr = idx, err
 		}
 		mu.Unlock()
+		if opts.Telemetry != nil {
+			opts.Telemetry.Counter("engine.jobs_failed").Inc()
+		}
 		cancel()
 	}
 	finish := func() {
 		mu.Lock()
 		done++
+		d := done
 		if opts.Progress != nil {
 			opts.Progress(done, total)
 		}
 		mu.Unlock()
+		if opts.Telemetry != nil {
+			opts.Telemetry.Counter("engine.jobs_done").Inc()
+			opts.Telemetry.Gauge("engine.progress").Set(float64(d) / float64(total))
+			elapsed := time.Since(start)
+			eta := elapsed / time.Duration(d) * time.Duration(total-d)
+			opts.Telemetry.Gauge("engine.eta_seconds").Set(eta.Seconds())
+		}
+	}
+	record := func(alg string, m Metrics, took time.Duration) {
+		reg := opts.Telemetry
+		if reg == nil {
+			return
+		}
+		reg.Histogram("engine.job_seconds").Observe(took.Seconds())
+		if alg != "" {
+			reg.Histogram("engine.job_seconds." + alg).Observe(took.Seconds())
+		}
+		reg.Histogram("sim.max_node_j_per_round").Observe(m.MaxNodeEnergyPerRound)
+		reg.Histogram("sim.total_energy_j").Observe(m.TotalEnergy)
+		reg.Histogram("sim.frames_per_round").Observe(m.FramesPerRound)
+		reg.Histogram("sim.bits_per_round").Observe(m.BitsPerRound)
+		reg.Histogram("sim.lifetime_rounds").Observe(m.LifetimeRounds)
 	}
 
 	run := func(j gridJob) {
@@ -210,6 +256,7 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 		if ctx.Err() != nil {
 			return // canceled; leave the slot empty
 		}
+		jobStart := time.Now()
 		cfg := cfgs[j.cell]
 		dep, err := deps[j.cell][j.run].get(cfg, j.run)
 		if err == nil {
@@ -229,6 +276,7 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 			m, err = runOn(cfg, dep, algs[j.alg].New(), tc)
 			if err == nil {
 				perRun[j.cell][j.alg][j.run] = []Metrics{m}
+				record(algs[j.alg].Name, m, time.Since(jobStart))
 				return
 			}
 		}

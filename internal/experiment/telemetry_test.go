@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+
+	"wsnq/internal/baseline"
+	"wsnq/internal/protocol"
+	"wsnq/internal/telemetry"
+)
+
+// TestEngineTelemetry runs a small comparison with a live registry
+// attached (in parallel — telemetry must not force sequential
+// execution) and checks the engine's metric surface.
+func TestEngineTelemetry(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Rounds = 5
+	reg := telemetry.NewRegistry()
+	algs := []NamedFactory{
+		{Name: "TAG", New: func() protocol.Algorithm { return baseline.NewTAG() }},
+		{Name: "POS", New: func() protocol.Algorithm { return baseline.NewPOS(baseline.DefaultPOSOptions()) }},
+	}
+	opts := Options{Parallelism: 4, Telemetry: reg}
+	if got := opts.workers(); got != 4 {
+		t.Fatalf("telemetry forced workers to %d, want 4", got)
+	}
+	if _, err := CompareContext(context.Background(), cfg, algs, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	total := len(algs) * cfg.Runs
+	if got := s.Counters["engine.jobs_done"]; got != int64(total) {
+		t.Errorf("engine.jobs_done = %d, want %d", got, total)
+	}
+	if got := s.Counters["engine.jobs_failed"]; got != 0 {
+		t.Errorf("engine.jobs_failed = %d, want 0", got)
+	}
+	if got := s.Gauges["engine.jobs_total"]; got != float64(total) {
+		t.Errorf("engine.jobs_total = %v, want %d", got, total)
+	}
+	if got := s.Gauges["engine.progress"]; got != 1 {
+		t.Errorf("engine.progress = %v, want 1", got)
+	}
+	if got := s.Gauges["engine.eta_seconds"]; got != 0 {
+		t.Errorf("engine.eta_seconds after completion = %v, want 0", got)
+	}
+	if got := s.Histograms["engine.job_seconds"].Count; got != int64(total) {
+		t.Errorf("engine.job_seconds count = %d, want %d", got, total)
+	}
+	if got := s.Histograms["engine.job_seconds.TAG"].Count; got != int64(cfg.Runs) {
+		t.Errorf("engine.job_seconds.TAG count = %d, want %d", got, cfg.Runs)
+	}
+	for _, name := range []string{
+		"sim.max_node_j_per_round", "sim.total_energy_j",
+		"sim.frames_per_round", "sim.bits_per_round", "sim.lifetime_rounds",
+	} {
+		h := s.Histograms[name]
+		if h.Count != int64(total) {
+			t.Errorf("%s count = %d, want %d", name, h.Count, total)
+		}
+	}
+	if s.Histograms["sim.max_node_j_per_round"].Min <= 0 {
+		t.Error("sim.max_node_j_per_round should be positive for a real study")
+	}
+}
+
+// TestEngineTelemetryFailure checks the failure counter: a factory
+// producing an algorithm that always errors must bump
+// engine.jobs_failed at least once (cancellation may spare the rest).
+func TestEngineTelemetryFailure(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Rounds = 2
+	reg := telemetry.NewRegistry()
+	_, err := RunContext(context.Background(), cfg, func() protocol.Algorithm {
+		return failingAlg{}
+	}, Options{Telemetry: reg})
+	if err == nil {
+		t.Fatal("expected error from failing algorithm")
+	}
+	if got := reg.Snapshot().Counters["engine.jobs_failed"]; got < 1 {
+		t.Errorf("engine.jobs_failed = %d, want >= 1", got)
+	}
+}

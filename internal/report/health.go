@@ -1,0 +1,128 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wsnq/internal/telemetry"
+)
+
+// heatWidth is the width of the heatmap bar in characters; a full bar
+// is the most energy-loaded node.
+const heatWidth = 20
+
+// LoadHeatmap renders a network-health report as a per-node load table
+// with an ASCII heat bar proportional to each node's energy drain.
+// Rows are ordered hottest-first (energy descending, node index as the
+// tie-break) so the table reads like the hotspot list. A positive limit
+// truncates the table to the top rows and notes how many were cut.
+func LoadHeatmap(r telemetry.HealthReport, limit int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "network health: %d nodes, %d rounds\n", r.Nodes, r.Rounds)
+	fmt.Fprintf(&b, "fairness: Jain(messages)=%.3f  Jain(energy)=%.3f\n", r.JainMessages, r.JainEnergy)
+	if r.Lifetime.ProjectedRounds > 0 {
+		fmt.Fprintf(&b, "lifetime: hottest node %d drains %.2e J/round, first death at round %.0f\n",
+			r.Lifetime.HottestNode, r.Lifetime.MaxDrainPerRound, r.Lifetime.ProjectedRounds)
+	} else {
+		b.WriteString("lifetime: no projection (unknown budget or no drain observed)\n")
+	}
+	if len(r.PerNode) == 0 {
+		return b.String()
+	}
+
+	rows := append([]telemetry.NodeLoad(nil), r.PerNode...)
+	// Hottest-first; the report's PerNode slice is in node order.
+	for i := 1; i < len(rows); i++ {
+		for j := i; j > 0 && hotter(rows[j], rows[j-1]); j-- {
+			rows[j], rows[j-1] = rows[j-1], rows[j]
+		}
+	}
+	maxJ := rows[0].Joules
+
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%4s  %5s  %4s  %6s  %8s  %9s  %11s  %s\n",
+		"node", "sends", "recv", "frames", "bits_out", "joules", "drain/round", "load")
+	cut := 0
+	if limit > 0 && len(rows) > limit {
+		cut = len(rows) - limit
+		rows = rows[:limit]
+	}
+	for _, nl := range rows {
+		fmt.Fprintf(&b, "%4d  %5d  %4d  %6d  %8d  %9.2e  %11.2e  %s\n",
+			nl.Node, nl.Sends, nl.Receives, nl.Frames, nl.BitsOut, nl.Joules, nl.DrainPerRound,
+			heatBar(nl.Joules, maxJ))
+	}
+	if cut > 0 {
+		fmt.Fprintf(&b, "(+%d more nodes)\n", cut)
+	}
+	return b.String()
+}
+
+// hotter orders heatmap rows: energy descending, node index ascending.
+func hotter(a, b telemetry.NodeLoad) bool {
+	if a.Joules != b.Joules {
+		return a.Joules > b.Joules
+	}
+	return a.Node < b.Node
+}
+
+// heatBar scales a load onto the heatmap bar; any non-zero load shows
+// at least one mark.
+func heatBar(x, max float64) string {
+	if x <= 0 || max <= 0 {
+		return ""
+	}
+	n := int(math.Round(heatWidth * x / max))
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// lifetimeSamples is the number of points per depletion line.
+const lifetimeSamples = 5
+
+// LifetimeChart renders the first-node-death projection as a chart:
+// remaining energy budget over rounds for the hottest node (which hits
+// zero at the projected death round), the mean node, and the median
+// node, all draining linearly at the rates the health report measured.
+// The report must carry a projection (known budget, observed drain).
+func LifetimeChart(r telemetry.HealthReport) (*Chart, error) {
+	lt := r.Lifetime
+	if lt.ProjectedRounds <= 0 || lt.Budget <= 0 || r.Rounds <= 0 {
+		return nil, fmt.Errorf("report: health report carries no lifetime projection")
+	}
+	rounds := float64(r.Rounds)
+	lines := []struct {
+		name  string
+		drain float64 // joules per round
+	}{
+		{fmt.Sprintf("hottest (node %d)", lt.HottestNode), lt.MaxDrainPerRound},
+		{"mean node", r.Energy.Mean / rounds},
+		{"median node", r.Energy.P50 / rounds},
+	}
+
+	c := &Chart{
+		Title:  fmt.Sprintf("Projected energy depletion — first death at round %.0f", lt.ProjectedRounds),
+		XLabel: "round",
+		YLabel: "remaining budget [J]",
+	}
+	for _, ln := range lines {
+		s := Series{Name: ln.name}
+		for i := 0; i < lifetimeSamples; i++ {
+			t := lt.ProjectedRounds * float64(i) / float64(lifetimeSamples-1)
+			rem := lt.Budget - ln.drain*t
+			if rem < 0 {
+				rem = 0
+			}
+			s.X = append(s.X, t)
+			s.Y = append(s.Y, rem)
+		}
+		c.Series = append(c.Series, s)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"wsnq/internal/telemetry"
+)
+
+// healthReport is a hand-built three-node report with clean numbers so
+// the heatmap golden string is readable.
+func healthReport() telemetry.HealthReport {
+	return telemetry.HealthReport{
+		Nodes:        3,
+		Rounds:       3,
+		JainMessages: 0.8,
+		JainEnergy:   0.75,
+		Energy:       telemetry.Distribution{Mean: 3.5e-6, P50: 3e-6, Max: 6e-6},
+		Lifetime: telemetry.Lifetime{
+			Budget:           0.03,
+			HottestNode:      0,
+			MaxDrainPerRound: 2e-6,
+			ProjectedRounds:  15000,
+		},
+		PerNode: []telemetry.NodeLoad{
+			{Node: 0, Sends: 2, Receives: 1, Frames: 3, BitsOut: 256, Joules: 6e-6, DrainPerRound: 2e-6},
+			{Node: 1, Sends: 1, Receives: 0, Frames: 1, BitsOut: 128, Joules: 3e-6, DrainPerRound: 1e-6},
+			{Node: 2, Sends: 1, Receives: 0, Frames: 1, BitsOut: 64, Joules: 1.5e-6, DrainPerRound: 5e-7},
+		},
+	}
+}
+
+func TestLoadHeatmapGolden(t *testing.T) {
+	got := LoadHeatmap(healthReport(), 0)
+	want := `network health: 3 nodes, 3 rounds
+fairness: Jain(messages)=0.800  Jain(energy)=0.750
+lifetime: hottest node 0 drains 2.00e-06 J/round, first death at round 15000
+
+node  sends  recv  frames  bits_out     joules  drain/round  load
+   0      2     1       3       256   6.00e-06     2.00e-06  ####################
+   1      1     0       1       128   3.00e-06     1.00e-06  ##########
+   2      1     0       1        64   1.50e-06     5.00e-07  #####
+`
+	if got != want {
+		t.Errorf("heatmap mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLoadHeatmapLimit(t *testing.T) {
+	got := LoadHeatmap(healthReport(), 1)
+	if !strings.Contains(got, "(+2 more nodes)\n") {
+		t.Errorf("limit 1 should note 2 cut nodes:\n%s", got)
+	}
+	if strings.Contains(got, "\n   1  ") || strings.Contains(got, "\n   2  ") {
+		t.Errorf("limit 1 should keep only the hottest row:\n%s", got)
+	}
+}
+
+func TestLoadHeatmapOrdersHottestFirst(t *testing.T) {
+	r := healthReport()
+	// Hand the rows over in node order with the heat inverted: node 2
+	// must rise to the top.
+	r.PerNode[0].Joules, r.PerNode[2].Joules = r.PerNode[2].Joules, r.PerNode[0].Joules
+	got := LoadHeatmap(r, 0)
+	i0 := strings.Index(got, "\n   2  ")
+	i1 := strings.Index(got, "\n   0  ")
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Errorf("rows not ordered by energy descending:\n%s", got)
+	}
+}
+
+func TestLoadHeatmapNoProjection(t *testing.T) {
+	got := LoadHeatmap(telemetry.HealthReport{JainMessages: 1, JainEnergy: 1}, 0)
+	want := `network health: 0 nodes, 0 rounds
+fairness: Jain(messages)=1.000  Jain(energy)=1.000
+lifetime: no projection (unknown budget or no drain observed)
+`
+	if got != want {
+		t.Errorf("empty-report heatmap mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLifetimeChart(t *testing.T) {
+	c, err := LifetimeChart(healthReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 3 {
+		t.Fatalf("want 3 depletion lines, got %d", len(c.Series))
+	}
+	// The hottest node's line starts at the full budget and hits zero
+	// exactly at the projected death round.
+	hot := c.Series[0]
+	if hot.Y[0] != 0.03 {
+		t.Errorf("hottest line starts at %g, want the 0.03 J budget", hot.Y[0])
+	}
+	if last := hot.Y[len(hot.Y)-1]; last != 0 {
+		t.Errorf("hottest line ends at %g, want 0", last)
+	}
+	if lastX := hot.X[len(hot.X)-1]; lastX != 15000 {
+		t.Errorf("hottest line ends at round %g, want 15000", lastX)
+	}
+
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "first death at round 15000",
+		"hottest (node 0)", "mean node", "median node",
+		"remaining budget [J]",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if n := strings.Count(svg, "<polyline"); n != 3 {
+		t.Errorf("want 3 polylines, got %d", n)
+	}
+}
+
+func TestLifetimeChartNoProjection(t *testing.T) {
+	if _, err := LifetimeChart(telemetry.HealthReport{}); err == nil {
+		t.Fatal("want an error for a report without a projection")
+	}
+}

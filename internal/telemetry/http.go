@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the live exposition surface shared by all cmd tools:
+//
+//	/metrics       JSON registry snapshot (nil reg → 404)
+//	/health        JSON analyzer health report (nil an → 404)
+//	/debug/pprof/  the standard net/http/pprof profiling hooks
+//	/              a plain-text index of the above
+//
+// Either argument may be nil; the corresponding endpoint then reports
+// 404 instead of serving empty data.
+func Handler(reg *Registry, an *Analyzer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if reg == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/health", func(w http.ResponseWriter, req *http.Request) {
+		if an == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, an.Report())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "wsnq telemetry endpoints:")
+		fmt.Fprintln(w, "  /metrics      registry snapshot (JSON)")
+		fmt.Fprintln(w, "  /health       network-health report (JSON)")
+		fmt.Fprintln(w, "  /debug/pprof  runtime profiles")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler on
+// it until ctx is cancelled. It returns the bound address — useful with
+// port 0 — without blocking; the server runs in the background.
+func Serve(ctx context.Context, addr string, reg *Registry, an *Analyzer) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, an)}
+	go srv.Serve(ln)
+	go func() {
+		<-ctx.Done()
+		srv.Close()
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine.jobs_done").Add(7)
+	an := NewAnalyzer(30e-3)
+	feed(an)
+	srv := httptest.NewServer(Handler(reg, an))
+	defer srv.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.Counters["engine.jobs_done"] != 7 {
+		t.Errorf("/metrics counter = %d, want 7", snap.Counters["engine.jobs_done"])
+	}
+
+	code, body = get("/health")
+	if code != http.StatusOK {
+		t.Fatalf("/health status = %d", code)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("/health not JSON: %v", err)
+	}
+	if rep.Nodes != 3 || rep.Rounds != 3 {
+		t.Errorf("/health nodes/rounds = %d/%d, want 3/3", rep.Nodes, rep.Rounds)
+	}
+
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status = %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+
+	code, body = get("/")
+	if code != http.StatusOK || !strings.Contains(string(body), "/metrics") {
+		t.Errorf("index status = %d body = %q", code, body)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+func TestHandlerNilComponents(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/health"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s with nil backend = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := NewRegistry()
+	addr, err := Serve(ctx, "127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET while serving: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	cancel()
+	// After cancellation the listener closes; the port eventually
+	// refuses connections. Poll briefly rather than racing the goroutine.
+	for i := 0; i < 100; i++ {
+		if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+			return
+		}
+	}
+	t.Error("server still reachable after context cancellation")
+}

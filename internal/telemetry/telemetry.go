@@ -1,0 +1,265 @@
+// Package telemetry is the repository's network-health observability
+// layer: a stdlib-only metrics registry (counters, gauges, bounded
+// histograms with quantile readout) plus an analyzer that folds the
+// flight-recorder event stream into an aggregated health report —
+// per-node load distribution, hotspot detection, Jain's fairness
+// index, and a first-node-death lifetime projection.
+//
+// The design mirrors the paper's own framing of in-network aggregation
+// (and Shrivastava et al.'s q-digest summaries): telemetry state is a
+// set of fixed-size summaries, never an unbounded event log. Histogram
+// quantiles (p50/p95/p99) are computed with the same quickselect the
+// simulation oracle uses (internal/mathx), so "p95" means the same
+// nearest-rank statistic everywhere in the repository.
+//
+// All registry types are safe for concurrent use: counters and gauges
+// are lock-free atomics, histograms and the registry itself take a
+// mutex, and Snapshot returns an isolated copy — so a live HTTP
+// exposition endpoint can read while the parallel experiment engine
+// writes.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"wsnq/internal/mathx"
+)
+
+// Counter is a monotonically increasing metric (lock-free).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increases the counter by d (negative deltas are ignored so the
+// counter stays monotone).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a set-to-current-value metric (lock-free, float64).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultHistogramCap bounds a histogram's sample reservoir: the most
+// recent observations kept for quantile readout. Count, sum, and
+// extrema always cover every observation ever made.
+const DefaultHistogramCap = 1024
+
+// Histogram accumulates a stream of observations at bounded memory: a
+// ring of the most recent DefaultHistogramCap samples (for quantiles)
+// plus running count/sum/min/max over the full stream.
+type Histogram struct {
+	mu    sync.Mutex
+	buf   []float64 // ring of recent samples
+	next  int       // write cursor
+	n     int       // live samples (<= cap)
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// NewHistogram returns a histogram keeping up to capacity recent
+// samples (capacity < 1 uses DefaultHistogramCap).
+func NewHistogram(capacity int) *Histogram {
+	if capacity < 1 {
+		capacity = DefaultHistogramCap
+	}
+	return &Histogram{buf: make([]float64, capacity)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.count++
+	h.sum += v
+	h.buf[h.next] = v
+	h.next = (h.next + 1) % len(h.buf)
+	if h.n < len(h.buf) {
+		h.n++
+	}
+}
+
+// Snapshot returns the histogram's current statistics. Quantiles are
+// nearest-rank over the retained reservoir (the full stream while it
+// fits the capacity).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	if h.n > 0 {
+		samples := make([]float64, h.n)
+		copy(samples, h.buf[:h.n])
+		s.P50 = mathx.QuantileFloat64(samples, 0.50)
+		s.P95 = mathx.QuantileFloat64(samples, 0.95)
+		s.P99 = mathx.QuantileFloat64(samples, 0.99)
+	}
+	return s
+}
+
+// HistogramSnapshot is the JSON-marshalable readout of one histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Registry is a named collection of metrics. Metric accessors
+// get-or-create, so callers never coordinate registration; the same
+// name always returns the same metric.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	histCap  int
+}
+
+// NewRegistry returns an empty registry with DefaultHistogramCap
+// reservoirs.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		histCap:  DefaultHistogramCap,
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(r.histCap)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered metric. Maps
+// marshal with sorted keys, so the JSON encoding is deterministic for a
+// given set of metric values.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every metric. The result is
+// fully detached from the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]namedCounter, 0, len(r.counters))
+	for n, c := range r.counters {
+		counters = append(counters, namedCounter{n, c})
+	}
+	gauges := make([]namedGauge, 0, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges = append(gauges, namedGauge{n, g})
+	}
+	hists := make([]namedHist, 0, len(r.hists))
+	for n, h := range r.hists {
+		hists = append(hists, namedHist{n, h})
+	}
+	r.mu.Unlock()
+
+	// Read metric values outside the registry lock (each histogram has
+	// its own mutex), in sorted name order for deterministic iteration.
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Gauges:     make(map[string]float64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, c := range counters {
+		s.Counters[c.name] = c.c.Value()
+	}
+	for _, g := range gauges {
+		s.Gauges[g.name] = g.g.Value()
+	}
+	for _, h := range hists {
+		s.Histograms[h.name] = h.h.Snapshot()
+	}
+	return s
+}
+
+type namedCounter struct {
+	name string
+	c    *Counter
+}
+type namedGauge struct {
+	name string
+	g    *Gauge
+}
+type namedHist struct {
+	name string
+	h    *Histogram
+}

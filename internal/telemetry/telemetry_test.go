@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines
+// (including concurrent Snapshot readers); run under -race it is the
+// registry's data-race gate in `make check`.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("shared.count").Inc()
+				r.Counter("shared.count").Add(2)
+				r.Gauge("shared.gauge").Set(float64(i))
+				r.Histogram("shared.hist").Observe(float64(i % 17))
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got, want := s.Counters["shared.count"], int64(workers*iters*3); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := s.Histograms["shared.hist"].Count, int64(workers*iters); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+}
+
+// TestSnapshotDeterminism checks that the JSON encoding of a snapshot
+// is byte-identical across repeated captures of the same state — the
+// property the /metrics endpoint and golden tests rely on.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		// Insert in scrambled order: iteration order must not leak.
+		names := []string{"z.last", "a.first", "m.middle", "engine.jobs", "sim.energy"}
+		rng := rand.New(rand.NewSource(3))
+		rng.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		for i, n := range names {
+			r.Counter(n).Add(int64(i + 1))
+			r.Gauge(n).Set(float64(i) * 1.5)
+			for k := 0; k < 10; k++ {
+				r.Histogram(n).Observe(float64(k * (i + 1)))
+			}
+		}
+		return r
+	}
+	a, _ := json.Marshal(build().Snapshot())
+	b, _ := json.Marshal(build().Snapshot())
+	if string(a) != string(b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+	c, _ := json.Marshal(build().Snapshot())
+	if string(a) != string(c) {
+		t.Fatalf("third snapshot differs:\n%s\n%s", a, c)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5 (negative delta must be ignored)", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("count/min/max = %d/%v/%v, want 100/1/100", s.Count, s.Min, s.Max)
+	}
+	if s.Mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", s.Mean)
+	}
+	// Nearest-rank over 1..100: p50 = 50th value, p95 = 95th, p99 = 99th.
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Errorf("p50/p95/p99 = %v/%v/%v, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestHistogramRingEviction(t *testing.T) {
+	h := NewHistogram(4)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	// Full-stream stats cover all 10 observations...
+	if s.Count != 10 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("count/min/max = %d/%v/%v, want 10/1/10", s.Count, s.Min, s.Max)
+	}
+	// ...but quantiles come from the 4 retained samples {7,8,9,10}.
+	if s.P50 != 8 || s.P99 != 10 {
+		t.Errorf("p50/p99 = %v/%v, want 8/10 (reservoir {7,8,9,10})", s.P50, s.P99)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	s := NewHistogram(8).Snapshot()
+	if s != (HistogramSnapshot{}) {
+		t.Errorf("empty histogram snapshot = %+v, want zero value", s)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same counter name returned distinct instances")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("same gauge name returned distinct instances")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("same histogram name returned distinct instances")
+	}
+	s := r.Snapshot()
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) != 1 || names[0] != "x" {
+		t.Errorf("counters = %v, want [x]", names)
+	}
+}

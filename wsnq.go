@@ -40,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
 
 	"wsnq/internal/baseline"
 	"wsnq/internal/core"
@@ -48,6 +49,7 @@ import (
 	"wsnq/internal/experiment"
 	"wsnq/internal/msg"
 	"wsnq/internal/protocol"
+	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 )
 
@@ -333,7 +335,8 @@ func fromInternal(m experiment.Metrics) Metrics {
 type Option func(*engineOptions)
 
 type engineOptions struct {
-	exp experiment.Options
+	exp    experiment.Options
+	health TraceCollector // health analyzer merged into the trace chain
 }
 
 // WithParallelism bounds the number of simulation runs executing
@@ -399,11 +402,98 @@ func NewTraceJSONL(w io.Writer) TraceCollector {
 	return trace.NewWriter(w)
 }
 
+// MultiCollector fans one flight-recorder stream out to several
+// collectors in order, skipping nils. With zero or one effective
+// collectors it returns nil or that collector unwrapped.
+func MultiCollector(cs ...TraceCollector) TraceCollector {
+	return trace.Multi(cs...)
+}
+
+// Telemetry is a live observability sink for studies: a metrics
+// registry fed by the experiment engine (progress, ETA, per-job
+// timings, aggregate result histograms) plus a network-health analyzer
+// fed by the flight-recorder stream (per-node load distribution,
+// hotspots, Jain's fairness index, lifetime projection, per-round cost
+// percentiles). Attach it with WithTelemetry; read it at any time via
+// Metrics and Health, or serve it over HTTP via Serve/Handler. All
+// methods are safe for concurrent use.
+type Telemetry struct {
+	reg *telemetry.Registry
+	an  *telemetry.Analyzer
+}
+
+// NewTelemetry returns an empty telemetry sink. Lifetime projections
+// use the default per-node energy budget (DefaultEnergy().InitialBudget),
+// which is the budget every public-API study runs with.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		reg: telemetry.NewRegistry(),
+		an:  telemetry.NewAnalyzer(energy.DefaultParams().InitialBudget),
+	}
+}
+
+// TelemetrySnapshot is a point-in-time copy of every registered metric
+// (counters, gauges, histograms with p50/p95/p99); it marshals to
+// deterministic JSON.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// HealthReport is the analyzer's aggregated network-health view: load
+// distributions, Jain's fairness index, hotspot nodes, the
+// first-node-death lifetime projection, and per-round cost percentiles.
+type HealthReport = telemetry.HealthReport
+
+// Metrics returns a snapshot of the engine metrics registry.
+func (t *Telemetry) Metrics() TelemetrySnapshot { return t.reg.Snapshot() }
+
+// Health returns the current network-health report.
+func (t *Telemetry) Health() HealthReport { return t.an.Report() }
+
+// Collector exposes the health analyzer as a trace collector, for
+// feeding it outside the Option path (Simulation.SetTrace,
+// FigureOptions.Trace); use MultiCollector to combine it with other
+// collectors such as NewTraceJSONL.
+func (t *Telemetry) Collector() TraceCollector { return t.an }
+
+// Handler returns the HTTP exposition surface: /metrics (registry
+// snapshot), /health (health report), and /debug/pprof.
+func (t *Telemetry) Handler() http.Handler { return telemetry.Handler(t.reg, t.an) }
+
+// Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler in
+// the background until ctx is cancelled, returning the bound address.
+func (t *Telemetry) Serve(ctx context.Context, addr string) (string, error) {
+	return telemetry.Serve(ctx, addr, t.reg, t.an)
+}
+
+// WithTelemetry attaches a live telemetry sink to the study. The engine
+// feeds the metrics registry concurrently (registry writes alone do not
+// force sequential execution), but the health analyzer consumes the
+// flight-recorder stream, so — like WithTrace — attaching telemetry
+// forces strictly sequential execution in deterministic grid order.
+// A nil t is ignored.
+func WithTelemetry(t *Telemetry) Option {
+	return func(o *engineOptions) {
+		if t == nil {
+			return
+		}
+		o.exp.Telemetry = t.reg
+		o.health = t.an
+	}
+}
+
 func resolveOptions(opts []Option) experiment.Options {
 	var o engineOptions
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&o)
+		}
+	}
+	if o.health != nil {
+		prev := o.exp.Trace
+		o.exp.Trace = func(j experiment.TraceJob) trace.Collector {
+			if prev == nil {
+				return o.health
+			}
+			return trace.Multi(prev(j), o.health)
 		}
 	}
 	return o.exp
