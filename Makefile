@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry
+.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard
 
 # help lists the targets; keep the `##` summaries next to the targets
 # they describe.
@@ -9,13 +9,15 @@ help:
 	@echo "wsnq targets:"
 	@echo "  build       compile every package and tool"
 	@echo "  test        run the full test suite"
-	@echo "  check       the merge gate: vet + race + oracle + telemetry + fuzz-smoke"
+	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + fuzz-smoke"
 	@echo "  vet         static analysis"
 	@echo "  race        full suite under the race detector"
 	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
 	@echo "  telemetry   registry race test and snapshot-determinism test under -race"
+	@echo "  alert       series ring race-hammer and alert rule-engine determinism"
 	@echo "  fuzz-smoke  short fresh-input budget for every fuzz target"
 	@echo "  trace-guard disabled-tracer overhead vs the 2% budget (idle machine)"
+	@echo "  series-guard series-ingest overhead vs the 2% budget (idle machine)"
 	@echo "  bench       run all Go benchmarks with -benchmem"
 	@echo "  bench-json  measure tracked hot paths into BENCH_<date>.json; the"
 	@echo "              regression guard (TestBenchRegressionGuard) diffs the"
@@ -45,6 +47,13 @@ oracle:
 telemetry:
 	$(GO) test -race -run '^(TestRegistryConcurrent|TestSnapshotDeterminism)$$' -v ./internal/telemetry/
 
+# alert gates the streaming-observability layer: the series ring must
+# survive concurrent ingest/read hammering under the race detector, and
+# the alert rule engine must produce byte-identical logs across runs.
+alert:
+	$(GO) test -race -run '^TestSeriesRingRace$$' -v ./internal/series/
+	$(GO) test -run '^TestRuleEngineDeterminism$$' -v ./internal/alert/
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on
 # top of the committed corpus (go test -fuzz accepts one target at a
 # time, hence one invocation per target).
@@ -60,11 +69,17 @@ fuzz-smoke:
 trace-guard:
 	TRACE_GUARD=1 $(GO) test -run '^TestTracerOverheadGuard$$' -v ./internal/sim/
 
+# series-guard measures per-round series ingestion (sampling fast path
+# plus the storm rule) against the traced hot path and fails beyond the
+# 2% budget. Timing sensitive — run on an idle machine.
+series-guard:
+	SERIES_GUARD=1 $(GO) test -count=1 -run '^TestSeriesIngestOverheadGuard$$' -v .
+
 # check is the gate every change must pass: static analysis, the full
 # suite under the race detector (the parallel engine makes this the
-# interesting configuration), the oracle suite, the telemetry gate, and
-# a fuzz smoke run.
-check: vet race oracle telemetry fuzz-smoke
+# interesting configuration), the oracle suite, the telemetry gate, the
+# observability gate, and a fuzz smoke run.
+check: vet race oracle telemetry alert fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem .

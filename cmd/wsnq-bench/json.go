@@ -74,6 +74,44 @@ func runBenchJSON(out string) error {
 		})
 	}
 
+	// The observability hot path: the same warm IQ round with a series
+	// ingester (plus the storm rule as its sink) attached to the trace
+	// hook — what every -alert / -http study pays per round. Diffing
+	// RoundIQSeries against RoundIQ across sessions guards the ingest
+	// overhead.
+	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring RoundIQSeries...")
+	seriesRes := testing.Benchmark(func(b *testing.B) {
+		cfg := wsnq.DefaultConfig()
+		cfg.Nodes = 500
+		cfg.Rounds = 1 << 30 // stepped manually
+		cfg.Runs = 1
+		sim, err := wsnq.NewSimulation(cfg, wsnq.IQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		alerts, err := wsnq.NewAlerts("storm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.SetTrace(sim.SeriesCollector(wsnq.NewSeries(), "IQ", alerts))
+		if _, err := sim.Step(); err != nil { // initialization round
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f.Results = append(f.Results, benchfmt.Result{
+		Name:        "RoundIQSeries",
+		NsPerOp:     float64(seriesRes.NsPerOp()),
+		BytesPerOp:  seriesRes.AllocedBytesPerOp(),
+		AllocsPerOp: seriesRes.AllocsPerOp(),
+	})
+
 	// One whole-study engine sample: a shared-deployment comparison of
 	// the standard line-up (no per-round interpretation).
 	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring EngineCompare...")

@@ -9,7 +9,8 @@
 //	wsnq-bench -fig fig6 -scale 1 -par 8 -progress
 //	wsnq-bench -list
 //	wsnq-bench -json                    # write BENCH_<date>.json for the regression guard
-//	wsnq-bench -fig fig6 -http :8080    # live /metrics, /health, /debug/pprof
+//	wsnq-bench -fig fig6 -http :8080    # live /metrics, /health, /series, /alerts, /dashboard
+//	wsnq-bench -fig loss -alert "storm; excursion"
 //
 // Scale 1.0 is the paper's full 20 runs × 250 rounds; the default 0.1
 // reproduces the shapes in seconds. Sweeps run on the parallel engine
@@ -23,10 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
 	"wsnq"
@@ -46,13 +45,14 @@ func main() {
 		par       = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "report sweep progress on stderr")
 		traceFile = flag.String("trace", "", "write the flight-recorder event stream of every run to FILE as JSON Lines (forces sequential runs)")
-		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /debug/pprof; forces sequential runs)")
+		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof; forces sequential runs)")
+		alertSpec = flag.String("alert", "", cli.AlertRulesUsage+" (forces sequential runs)")
 		jsonBench = flag.Bool("json", false, "continuous-benchmarking mode: measure the tracked hot paths and write a BENCH_<date>.json")
 		jsonOut   = flag.String("out", "", "with -json: output file (default BENCH_<today>.json)")
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	if *list {
@@ -106,9 +106,23 @@ func main() {
 		}()
 		opts.Trace = wsnq.NewTraceJSONL(bw)
 	}
+	var alerts *wsnq.Alerts
+	if *alertSpec != "" {
+		var err error
+		if alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
+			os.Exit(1)
+		}
+		opts.Alerts = alerts
+	}
+	if *alertSpec != "" || *httpAddr != "" {
+		opts.Series = wsnq.NewSeries()
+	}
 	var tel *wsnq.Telemetry
 	if *httpAddr != "" {
 		tel = wsnq.NewTelemetry()
+		tel.AttachSeries(opts.Series)
+		tel.AttachAlerts(alerts)
 		if _, err := cli.ServeHTTP(ctx, "wsnq-bench", *httpAddr, tel.Handler()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -139,6 +153,9 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if alerts != nil {
+		cli.PrintAlerts(os.Stdout, alerts.States(), alerts.Log())
 	}
 	if tel != nil {
 		cli.Linger(ctx, "wsnq-bench")

@@ -7,7 +7,8 @@
 //	wsnq-sim -dataset pressure -skip 4 -pessimistic -alg all
 //	wsnq-sim -phi 0.9 -period 32 -noise 20 -loss 0.05 -alg IQ
 //	wsnq-sim -nodes 40 -rounds 25 -runs 1 -alg IQ -trace run.jsonl
-//	wsnq-sim -rounds 250 -runs 20 -http :8080   # live /metrics, /health, /debug/pprof
+//	wsnq-sim -rounds 250 -runs 20 -http :8080   # live /metrics, /health, /series, /alerts, /dashboard
+//	wsnq-sim -loss 0.05 -alg HBC,IQ -alert storm   # warn on refinement storms
 package main
 
 import (
@@ -16,9 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"wsnq"
 	"wsnq/internal/cli"
@@ -47,11 +46,12 @@ func main() {
 		par       = flag.Int("par", 0, "parallel simulation runs (0 = one per CPU, 1 = sequential)")
 		progress  = flag.Bool("progress", false, "report engine progress on stderr")
 		traceFile = flag.String("trace", "", "write the flight-recorder event stream to FILE as JSON Lines (forces sequential runs)")
-		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /debug/pprof; forces sequential runs)")
+		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof; forces sequential runs)")
+		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	cfg := wsnq.Config{
@@ -96,9 +96,26 @@ func main() {
 			}
 		}))
 	}
+	var alerts *wsnq.Alerts
+	if *alertSpec != "" {
+		var err error
+		if alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, wsnq.WithAlertRules(alerts))
+	}
+	var ser *wsnq.Series
+	if *httpAddr != "" {
+		// A series store makes /series and /dashboard live.
+		ser = wsnq.NewSeries()
+		opts = append(opts, wsnq.WithSeries(ser))
+	}
 	var tel *wsnq.Telemetry
 	if *httpAddr != "" {
 		tel = wsnq.NewTelemetry()
+		tel.AttachSeries(ser)
+		tel.AttachAlerts(alerts)
 		if _, err := cli.ServeHTTP(ctx, "wsnq-sim", *httpAddr, tel.Handler()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -143,6 +160,11 @@ func main() {
 		if *anatomy {
 			printAnatomy(m)
 		}
+	}
+
+	if alerts != nil {
+		fmt.Println()
+		cli.PrintAlerts(os.Stdout, alerts.States(), alerts.Log())
 	}
 
 	if tel != nil {

@@ -17,14 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 
+	"wsnq/internal/alert"
 	"wsnq/internal/baseline"
 	"wsnq/internal/cli"
 	"wsnq/internal/experiment"
 	"wsnq/internal/report"
+	"wsnq/internal/series"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 	"wsnq/internal/wsn"
@@ -41,11 +41,12 @@ func main() {
 		format     = flag.String("format", "stats", "stats, dot, or svg")
 		pixels     = flag.Int("pixels", 600, "svg: image size in pixels")
 		traceFile  = flag.String("trace", "", "record one TAG collection round on this deployment to FILE as JSON Lines")
-		httpAddr   = flag.String("http", "", "serve the probe round's telemetry on ADDR (/metrics, /health, /debug/pprof)")
+		httpAddr   = flag.String("http", "", "serve the probe round's telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof)")
+		alertSpec  = flag.String("alert", "", cli.AlertRulesUsage)
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	cfg, err := buildConfig(*dataset, *nodes, *area, *radioRange, *seed, *bfs)
@@ -78,13 +79,35 @@ func main() {
 			return f.Close()
 		}
 	}
+	var eng *alert.Engine
+	if *alertSpec != "" {
+		rules, err := alert.ParseRules(*alertSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+			os.Exit(1)
+		}
+		if eng, err = alert.NewEngine(rules...); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+			os.Exit(1)
+		}
+		eng.SetBudget(cfg.Energy.InitialBudget)
+	}
 	var an *telemetry.Analyzer
+	var st *series.Store
+	if *httpAddr != "" || eng != nil {
+		st = series.New(0)
+		var sinks []series.Sink
+		if eng != nil {
+			sinks = append(sinks, eng.Observe)
+		}
+		collectors = append(collectors, st.Ingest("TAG-probe", sinks...))
+	}
 	if *httpAddr != "" {
 		reg := telemetry.NewRegistry()
 		reg.Gauge("topology.nodes").Set(float64(top.N()))
 		reg.Gauge("topology.max_depth").Set(float64(top.MaxDepth()))
 		an = telemetry.NewAnalyzer(cfg.Energy.InitialBudget)
-		if _, err := cli.ServeHTTP(ctx, "wsnq-topology", *httpAddr, telemetry.Handler(reg, an)); err != nil {
+		if _, err := cli.ServeHTTP(ctx, "wsnq-topology", *httpAddr, telemetry.Handler(reg, an, st, eng)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -125,6 +148,9 @@ func main() {
 		os.Exit(1)
 	}
 
+	if eng != nil {
+		cli.PrintAlerts(os.Stderr, eng.States(), eng.Log())
+	}
 	if an != nil {
 		cli.Linger(ctx, "wsnq-topology")
 	}
@@ -182,6 +208,7 @@ func traceProbe(cfg experiment.Config, c trace.Collector) error {
 		return err
 	}
 	rt.TraceDecision(k, q)
+	rt.EndTrace()
 	return nil
 }
 

@@ -8,7 +8,8 @@
 //	wsnq-trace -rounds 125 -format csv > xi_trace.csv
 //	wsnq-trace -rounds 60 -format ascii
 //	wsnq-trace -rounds 60 -events events.jsonl
-//	wsnq-trace -rounds 125 -http :8080   # live /metrics, /health, /debug/pprof
+//	wsnq-trace -rounds 125 -http :8080   # live /metrics, /health, /series, /alerts, /dashboard
+//	wsnq-trace -rounds 125 -alert "excursion; storm"
 package main
 
 import (
@@ -17,8 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"wsnq"
 	"wsnq/internal/cli"
@@ -26,16 +25,17 @@ import (
 
 func main() {
 	var (
-		nodes    = flag.Int("nodes", 300, "number of sensor nodes")
-		rounds   = flag.Int("rounds", 125, "rounds to trace")
-		seed     = flag.Int64("seed", 1, "seed")
-		format   = flag.String("format", "csv", "csv or ascii")
-		events   = flag.String("events", "", "also write the flight-recorder event stream to FILE as JSON Lines")
-		httpAddr = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /debug/pprof)")
+		nodes     = flag.Int("nodes", 300, "number of sensor nodes")
+		rounds    = flag.Int("rounds", 125, "rounds to trace")
+		seed      = flag.Int64("seed", 1, "seed")
+		format    = flag.String("format", "csv", "csv or ascii")
+		events    = flag.String("events", "", "also write the flight-recorder event stream to FILE as JSON Lines")
+		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof)")
+		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.SignalContext(context.Background())
 	defer stop()
 
 	cfg := wsnq.DefaultConfig()
@@ -72,9 +72,26 @@ func main() {
 		}()
 		collectors = append(collectors, wsnq.NewTraceJSONL(bw))
 	}
+	var alerts *wsnq.Alerts
+	if *alertSpec != "" {
+		if alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
+			os.Exit(1)
+		}
+	}
+	var ser *wsnq.Series
+	if *alertSpec != "" || *httpAddr != "" {
+		// The per-round series feeds the alert rules and the live
+		// /series and /dashboard endpoints. SeriesCollector samples the
+		// simulation's counters per round instead of counting events.
+		ser = wsnq.NewSeries()
+		collectors = append(collectors, s.SeriesCollector(ser, "IQ", alerts))
+	}
 	var tel *wsnq.Telemetry
 	if *httpAddr != "" {
 		tel = wsnq.NewTelemetry()
+		tel.AttachSeries(ser)
+		tel.AttachAlerts(alerts)
 		if _, err := cli.ServeHTTP(ctx, "wsnq-trace", *httpAddr, tel.Handler()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -147,6 +164,10 @@ func main() {
 			fmt.Printf("%4d %s|%s| q=%d Ξ=[%d,%d]\n",
 				res.Round, marker, line, res.Quantile, filter+xiL, filter+xiR)
 		}
+	}
+	s.FinishTrace()
+	if alerts != nil {
+		cli.PrintAlerts(os.Stderr, alerts.States(), alerts.Log())
 	}
 	if tel != nil {
 		cli.Linger(ctx, "wsnq-trace")

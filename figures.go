@@ -12,7 +12,6 @@ import (
 	"wsnq/internal/core"
 	"wsnq/internal/experiment"
 	"wsnq/internal/protocol"
-	"wsnq/internal/report"
 	"wsnq/internal/trace"
 )
 
@@ -76,10 +75,24 @@ type FigureOptions struct {
 	// health analyzer consumes the flight-recorder stream (which, like
 	// Trace, forces sequential execution).
 	Telemetry *Telemetry
+	// Series, when non-nil, records the per-round phase-attributed time
+	// series of every run, as in WithSeries (forces sequential
+	// execution). Keys are "<variant>/<algorithm>".
+	Series *Series
+	// Alerts, when non-nil, streams every run's per-round points through
+	// the alert rule engine, as in WithAlertRules (forces sequential
+	// execution).
+	Alerts *Alerts
 }
 
 func (o *FigureOptions) engine() experiment.Options {
 	opts := experiment.Options{Parallelism: o.Parallelism, Progress: o.Progress}
+	if o.Series != nil {
+		opts.Series = o.Series.store
+	}
+	if o.Alerts != nil {
+		opts.Alerts = o.Alerts.eng
+	}
 	if o.Trace != nil {
 		c := o.Trace
 		opts.Trace = func(experiment.TraceJob) trace.Collector { return c }
@@ -198,7 +211,7 @@ func (t *Table) SVG(metric string, logY bool) (string, error) {
 			}
 		}
 	}
-	chart, err := report.FromTable(et, sel, logY)
+	chart, err := experiment.TableChart(et, sel, logY)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,525 @@
+// Package alert is a Kapacitor-inspired streaming rule engine over the
+// per-round series points of internal/series. Declarative rules —
+// warn/crit thresholds over windowed aggregates, rate-of-change, and
+// stateful detectors for refinement storms, energy burn-rate toward
+// first-node death, and quantile-error excursions — are evaluated as
+// rounds stream in, producing deduplicated OK→WARN→CRIT level
+// transitions with optional round-based throttled re-fires.
+//
+// Everything is round-based and deterministic: no wall clocks, no
+// goroutines; the same rule set over the same point stream yields the
+// same alert log, byte for byte.
+package alert
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"wsnq/internal/series"
+)
+
+// Level is an alert severity. Ordering is meaningful: OK < Warn < Crit.
+type Level uint8
+
+const (
+	OK Level = iota
+	Warn
+	Crit
+)
+
+var levelNames = [...]string{"ok", "warn", "crit"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// MarshalText encodes the level as its lowercase name for JSON.
+func (l Level) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText accepts the lowercase level names.
+func (l *Level) UnmarshalText(b []byte) error {
+	for i, n := range levelNames {
+		if string(b) == n {
+			*l = Level(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("alert: unknown level %q", b)
+}
+
+// Rule is one declarative alert rule: aggregate Metric with Agg over a
+// sliding window of Window rounds, compare the aggregate against the
+// Warn (and, when HasCrit, Crit) threshold with Cmp, and alert on
+// level transitions. See ParseRules for the text grammar.
+type Rule struct {
+	Name    string  `json:"name"`
+	Metric  string  `json:"metric"`
+	Agg     string  `json:"agg"`
+	Window  int     `json:"window"`
+	Cmp     string  `json:"cmp"`
+	Warn    float64 `json:"warn"`
+	Crit    float64 `json:"crit,omitempty"`
+	HasCrit bool    `json:"has_crit,omitempty"`
+}
+
+// String renders the rule in the canonical parseable grammar.
+func (r Rule) String() string {
+	s := fmt.Sprintf("%s=%s:%s(%d)%s%g", r.Name, r.Metric, r.Agg, r.Window, r.Cmp, r.Warn)
+	if r.HasCrit {
+		s += fmt.Sprintf(",%g", r.Crit)
+	}
+	return s
+}
+
+// Metric names: the numeric per-round fields of series.Point, plus the
+// derived "lifetime" metric (projected rounds until the hottest node
+// exhausts the energy budget, from the HotJoules drain over the rule's
+// window — a burn-rate detector, so it pairs with the < comparator).
+var metrics = map[string]func(series.Point) float64{
+	"frames":          func(p series.Point) float64 { return float64(p.Frames) },
+	"messages":        func(p series.Point) float64 { return float64(p.Messages) },
+	"joules":          func(p series.Point) float64 { return p.Joules },
+	"bits":            func(p series.Point) float64 { return float64(p.Bits()) },
+	"validation_bits": func(p series.Point) float64 { return float64(p.ValidationBits) },
+	"refinement_bits": func(p series.Point) float64 { return float64(p.RefinementBits) },
+	"shipping_bits":   func(p series.Point) float64 { return float64(p.ShippingBits) },
+	"other_bits":      func(p series.Point) float64 { return float64(p.OtherBits) },
+	"rank_error":      func(p series.Point) float64 { return float64(p.RankError) },
+	"refines":         func(p series.Point) float64 { return float64(p.Refines) },
+	"hot_joules":      func(p series.Point) float64 { return p.HotJoules },
+}
+
+// metricLifetime is the derived burn-rate metric.
+const metricLifetime = "lifetime"
+
+// aggs enumerates the window aggregators. "rate" is the per-round rate
+// of change across the window (newest minus oldest over the spanned
+// rounds); "nz" counts non-zero samples in the window.
+var aggs = map[string]bool{
+	"last": true, "mean": true, "max": true, "min": true,
+	"sum": true, "p95": true, "rate": true, "nz": true,
+}
+
+var cmps = map[string]bool{">": true, ">=": true, "<": true, "<=": true}
+
+// Validate checks the rule is well-formed: known metric, aggregator
+// and comparator, a positive window, and a crit threshold at least as
+// extreme as warn in the comparator's direction.
+func (r Rule) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alert: rule has no name")
+	}
+	if _, ok := metrics[r.Metric]; !ok && r.Metric != metricLifetime {
+		return fmt.Errorf("alert: rule %s: unknown metric %q", r.Name, r.Metric)
+	}
+	if !aggs[r.Agg] {
+		return fmt.Errorf("alert: rule %s: unknown aggregator %q", r.Name, r.Agg)
+	}
+	if !cmps[r.Cmp] {
+		return fmt.Errorf("alert: rule %s: unknown comparator %q", r.Name, r.Cmp)
+	}
+	if r.Window < 1 {
+		return fmt.Errorf("alert: rule %s: window %d < 1", r.Name, r.Window)
+	}
+	if r.HasCrit {
+		lower := r.Cmp == "<" || r.Cmp == "<="
+		if (lower && r.Crit > r.Warn) || (!lower && r.Crit < r.Warn) {
+			return fmt.Errorf("alert: rule %s: crit %g is less extreme than warn %g for %q",
+				r.Name, r.Crit, r.Warn, r.Cmp)
+		}
+	}
+	return nil
+}
+
+// exceeds applies the rule's comparator to value vs. threshold.
+func (r Rule) exceeds(v, threshold float64) bool {
+	switch r.Cmp {
+	case ">":
+		return v > threshold
+	case ">=":
+		return v >= threshold
+	case "<":
+		return v < threshold
+	case "<=":
+		return v <= threshold
+	}
+	return false
+}
+
+// classify maps an aggregate value to a level. NaN (not enough data
+// for the aggregate yet) never alerts.
+func (r Rule) classify(v float64) Level {
+	if math.IsNaN(v) {
+		return OK
+	}
+	if r.HasCrit && r.exceeds(v, r.Crit) {
+		return Crit
+	}
+	if r.exceeds(v, r.Warn) {
+		return Warn
+	}
+	return OK
+}
+
+// threshold returns the threshold that produced the given level.
+func (r Rule) threshold(l Level) float64 {
+	if l == Crit {
+		return r.Crit
+	}
+	return r.Warn
+}
+
+// Event is one alert-log entry: rule × series key transitioned from
+// Prev to Level at Round with the offending aggregate Value.
+type Event struct {
+	Rule      string  `json:"rule"`
+	Key       string  `json:"key"`
+	Round     int     `json:"round"`
+	Level     Level   `json:"level"`
+	Prev      Level   `json:"prev"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Message   string  `json:"message"`
+}
+
+// State is the current standing of one rule × key pair.
+type State struct {
+	Rule   string  `json:"rule"`
+	Key    string  `json:"key"`
+	Level  Level   `json:"level"`
+	Since  int     `json:"since_round"` // round the current level was entered
+	Value  float64 `json:"value"`       // latest aggregate
+	Rounds int     `json:"rounds"`      // points observed
+}
+
+// defaultLogCap bounds the alert log; older events are dropped (and
+// counted) once exceeded.
+const defaultLogCap = 1024
+
+// Engine evaluates a fixed rule set against streaming points. Safe for
+// concurrent use, though the experiment engine feeds it sequentially
+// for determinism.
+type Engine struct {
+	mu       sync.Mutex
+	rules    []Rule
+	budget   float64 // per-node energy budget for the lifetime metric
+	throttle int     // rounds between re-fires of a standing non-OK level; 0 disables
+	logCap   int
+	states   map[stateKey]*ruleState
+	order    []stateKey
+	log      []Event
+	dropped  int
+}
+
+type stateKey struct {
+	rule int // index into rules: preserves rule order, tolerates duplicate names
+	key  string
+}
+
+// ruleState is the sliding window and standing level of one rule × key.
+type ruleState struct {
+	win      []float64 // ring of the newest Window samples
+	n        int       // samples currently in win
+	head     int       // next write position
+	rounds   int       // total points observed
+	level    Level
+	since    int
+	value    float64
+	lastFire int // round of the last emitted event, for throttling
+}
+
+// NewEngine builds an engine over the given rules. Invalid rules are
+// rejected. The lifetime metric needs an energy budget: SetBudget.
+func NewEngine(rules ...Rule) (*Engine, error) {
+	for _, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{
+		rules:  append([]Rule(nil), rules...),
+		logCap: defaultLogCap,
+		states: make(map[stateKey]*ruleState),
+	}, nil
+}
+
+// Rules returns a copy of the engine's rule set.
+func (e *Engine) Rules() []Rule {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Rule(nil), e.rules...)
+}
+
+// SetBudget sets the per-node initial energy budget (joules) the
+// lifetime metric projects against.
+func (e *Engine) SetBudget(joules float64) {
+	e.mu.Lock()
+	e.budget = joules
+	e.mu.Unlock()
+}
+
+// DefaultBudget sets the lifetime budget only when none is set yet —
+// the experiment engine calls it with the study's configured per-node
+// initial supply so burn-rate rules work without manual wiring.
+func (e *Engine) DefaultBudget(joules float64) {
+	e.mu.Lock()
+	if e.budget == 0 {
+		e.budget = joules
+	}
+	e.mu.Unlock()
+}
+
+// SetThrottle enables re-firing a standing warn/crit level every
+// rounds rounds (0 restores transition-only logging).
+func (e *Engine) SetThrottle(rounds int) {
+	e.mu.Lock()
+	e.throttle = rounds
+	e.mu.Unlock()
+}
+
+// StartRun resets the sliding windows of every rule for key at a run
+// boundary so burn rates and windows never mix two runs' samples.
+// Standing levels and the log survive: an alert raised in run 3 is
+// still visible while run 4 streams.
+func (e *Engine) StartRun(key string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.rules {
+		if st, ok := e.states[stateKey{i, key}]; ok {
+			st.n, st.head = 0, 0
+		}
+	}
+}
+
+// Observe feeds one raw span-1 point for key through every rule. It is
+// the series.Sink the experiment engine attaches.
+func (e *Engine) Observe(key string, p series.Point) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, r := range e.rules {
+		sk := stateKey{i, key}
+		st, ok := e.states[sk]
+		if !ok {
+			st = &ruleState{win: make([]float64, r.Window)}
+			e.states[sk] = st
+			e.order = append(e.order, sk)
+		}
+		sample := 0.0
+		if r.Metric == metricLifetime {
+			sample = p.HotJoules
+		} else {
+			sample = metrics[r.Metric](p)
+		}
+		st.win[st.head] = sample
+		st.head = (st.head + 1) % len(st.win)
+		if st.n < len(st.win) {
+			st.n++
+		}
+		st.rounds++
+
+		v := e.aggregate(r, st)
+		st.value = v
+		level := r.classify(v)
+		fire := level != st.level
+		refire := !fire && level > OK && e.throttle > 0 && p.Round-st.lastFire >= e.throttle
+		if fire || refire {
+			prev := st.level
+			if refire {
+				prev = level
+			}
+			ev := Event{
+				Rule: r.Name, Key: key, Round: p.Round,
+				Level: level, Prev: prev, Value: sanitize(v),
+			}
+			if level > OK {
+				ev.Threshold = r.threshold(level)
+			}
+			ev.Message = message(r, ev)
+			e.append(ev)
+			st.lastFire = p.Round
+		}
+		if fire {
+			st.since = p.Round
+			st.level = level
+		}
+	}
+}
+
+// aggregate reduces the rule's window ring to one value; NaN means
+// "not enough data yet" and never alerts.
+func (e *Engine) aggregate(r Rule, st *ruleState) float64 {
+	if st.n == 0 {
+		return math.NaN()
+	}
+	// oldest-first view of the ring
+	vs := make([]float64, st.n)
+	start := st.head - st.n
+	if start < 0 {
+		start += len(st.win)
+	}
+	for i := 0; i < st.n; i++ {
+		vs[i] = st.win[(start+i)%len(st.win)]
+	}
+	if r.Metric == metricLifetime {
+		return lifetime(vs, e.budget)
+	}
+	switch r.Agg {
+	case "last":
+		return vs[len(vs)-1]
+	case "mean":
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		return s / float64(len(vs))
+	case "sum":
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		return s
+	case "max":
+		m := vs[0]
+		for _, v := range vs[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	case "min":
+		m := vs[0]
+		for _, v := range vs[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case "p95":
+		return quantile95(vs)
+	case "rate":
+		if len(vs) < 2 {
+			return math.NaN()
+		}
+		return (vs[len(vs)-1] - vs[0]) / float64(len(vs)-1)
+	case "nz":
+		n := 0.0
+		for _, v := range vs {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	return math.NaN()
+}
+
+// quantile95 is the nearest-rank p95 (same convention as
+// mathx.QuantileFloat64, inlined to keep the window path allocation
+// predictable on small rings).
+func quantile95(vs []float64) float64 {
+	k := (95*len(vs) + 99) / 100 // ceil(0.95 n)
+	if k < 1 {
+		k = 1
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	return sorted[k-1]
+}
+
+// lifetime projects rounds until the hottest node exhausts budget,
+// from the HotJoules watermarks in the window: drain per round is the
+// watermark rise across the window. Unknown budget, a short window, or
+// zero drain projects +Inf (no death in sight; never alerts under <).
+func lifetime(hot []float64, budget float64) float64 {
+	if budget <= 0 || len(hot) < 2 {
+		return math.Inf(1)
+	}
+	last := hot[len(hot)-1]
+	drain := (last - hot[0]) / float64(len(hot)-1)
+	if drain <= 0 {
+		return math.Inf(1)
+	}
+	remaining := (budget - last) / drain
+	if remaining < 0 {
+		return 0
+	}
+	return remaining
+}
+
+// message renders the human-readable alert line.
+func message(r Rule, ev Event) string {
+	verb := "recovered"
+	if ev.Level > OK {
+		verb = fmt.Sprintf("%s: %s:%s(%d) = %g %s %g",
+			ev.Level, r.Metric, r.Agg, r.Window, ev.Value, r.Cmp, ev.Threshold)
+		return fmt.Sprintf("%s[%s] %s (round %d)", r.Name, ev.Key, verb, ev.Round)
+	}
+	return fmt.Sprintf("%s[%s] %s: %s:%s(%d) = %g (round %d)",
+		r.Name, ev.Key, verb, r.Metric, r.Agg, r.Window, ev.Value, ev.Round)
+}
+
+// append adds an event to the bounded log, dropping the oldest half
+// when full so recent history always survives.
+func (e *Engine) append(ev Event) {
+	if len(e.log) >= e.logCap {
+		drop := e.logCap / 2
+		e.dropped += drop
+		e.log = append(e.log[:0], e.log[drop:]...)
+	}
+	e.log = append(e.log, ev)
+}
+
+// Log returns a copy of the alert log, oldest first.
+func (e *Engine) Log() []Event {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Event(nil), e.log...)
+}
+
+// Dropped reports how many old events the bounded log has discarded.
+func (e *Engine) Dropped() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// States returns the standing level of every rule × key pair, sorted
+// by rule order then key.
+func (e *Engine) States() []State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	order := append([]stateKey(nil), e.order...)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].rule != order[j].rule {
+			return order[i].rule < order[j].rule
+		}
+		return order[i].key < order[j].key
+	})
+	out := make([]State, 0, len(order))
+	for _, sk := range order {
+		st := e.states[sk]
+		out = append(out, State{
+			Rule: e.rules[sk.rule].Name, Key: sk.key,
+			Level: st.level, Since: st.since, Value: sanitize(st.value), Rounds: st.rounds,
+		})
+	}
+	return out
+}
+
+// sanitize makes aggregates JSON-encodable: a not-enough-data NaN
+// becomes 0 and a no-death-in-sight +Inf lifetime becomes -1 (the
+// "no projection" convention the telemetry health report also uses).
+func sanitize(v float64) float64 {
+	switch {
+	case math.IsNaN(v), math.IsInf(v, -1):
+		return 0
+	case math.IsInf(v, 1):
+		return -1
+	}
+	return v
+}

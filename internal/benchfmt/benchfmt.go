@@ -55,12 +55,16 @@ type Result struct {
 	EnergyPerRound float64 `json:"max_node_j_per_round,omitempty"`
 }
 
-// TrackedHotPaths lists the benchmarks the regression guard watches: the
-// per-round protocol costs of the §5.1.6 line-up. A >15% slowdown of
-// any of them fails the guard.
+// TrackedHotPaths lists the benchmarks the regression guard watches:
+// the per-round protocol costs of the §5.1.6 line-up, plus the traced
+// IQ round with series ingestion attached (the observability overhead
+// the alert pipeline rides on). A >15% slowdown of any of them fails
+// the guard; benchmarks absent from either session are skipped, so old
+// files without RoundIQSeries still diff cleanly.
 func TrackedHotPaths() []string {
 	return []string{
 		"RoundTAG", "RoundPOS", "RoundLCLLH", "RoundLCLLS", "RoundHBC", "RoundIQ",
+		"RoundIQSeries",
 	}
 }
 

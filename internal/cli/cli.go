@@ -1,20 +1,35 @@
-// Package cli holds the small pieces shared by the cmd tools — today
-// the -http flag behavior: every tool serves the same telemetry
-// surface (/metrics, /health, /debug/pprof) the same way.
+// Package cli holds the small pieces shared by the cmd tools: the
+// -http flag behavior (every tool serves the same telemetry surface
+// the same way), unified Ctrl-C handling, and the -alert flag's help
+// text and report printer.
 package cli
 
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+
+	"wsnq/internal/alert"
 )
+
+// SignalContext returns a context cancelled by Ctrl-C (SIGINT) or
+// SIGTERM, so every tool shuts its -http server and lingering loop
+// down the same way. The stop function releases the signal handler;
+// a second signal after cancellation kills the process as usual.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
 
 // ServeHTTP implements the tools' shared -http flag: it binds addr,
 // serves h in the background until ctx is cancelled, and announces the
 // endpoints on stderr. The returned address is the bound one, so
-// ":0" works.
+// ":0" works. (Endpoints without a backing collector — e.g. /series
+// with no series store attached — answer 404; / lists what is live.)
 func ServeHTTP(ctx context.Context, tool, addr string, h http.Handler) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -27,7 +42,7 @@ func ServeHTTP(ctx context.Context, tool, addr string, h http.Handler) (string, 
 		srv.Close()
 	}()
 	bound := ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "%s: telemetry on http://%s (/metrics /health /debug/pprof)\n", tool, bound)
+	fmt.Fprintf(os.Stderr, "%s: telemetry on http://%s (/metrics /health /series /alerts /dashboard /debug/pprof)\n", tool, bound)
 	return bound, nil
 }
 
@@ -40,4 +55,28 @@ func Linger(ctx context.Context, tool string) {
 	}
 	fmt.Fprintf(os.Stderr, "%s: done — telemetry still serving, Ctrl-C to exit\n", tool)
 	<-ctx.Done()
+}
+
+// AlertRulesUsage is the shared help text of the tools' -alert flag.
+const AlertRulesUsage = "semicolon-separated alert rules: presets storm, burnrate, excursion, " +
+	"or [name=]metric[:agg(window)]CMP warn[,crit] (e.g. 'storm; joules:mean(16)>2e-4'; see DESIGN.md §4e)"
+
+// PrintAlerts writes the end-of-study alert report: every rule × key
+// standing level and the chronological event log. It prints nothing
+// when there is nothing to say (no states, no events).
+func PrintAlerts(w io.Writer, states []alert.State, events []alert.Event) {
+	if len(states) == 0 && len(events) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "alerts:")
+	for _, s := range states {
+		fmt.Fprintf(w, "  %-4s %s[%s] = %g (since round %d, %d rounds seen)\n",
+			s.Level, s.Rule, s.Key, s.Value, s.Since, s.Rounds)
+	}
+	if len(events) > 0 {
+		fmt.Fprintln(w, "alert log:")
+		for _, ev := range events {
+			fmt.Fprintf(w, "  %s\n", ev.Message)
+		}
+	}
 }

@@ -173,6 +173,20 @@ func (l *Ledger) TotalSpent() float64 {
 	return t
 }
 
+// SpentTotals returns the network-wide and hottest-node cumulative
+// consumption in one pass — the per-round sampling fast path of the
+// series recorder, where separate TotalSpent and MaxSpent scans would
+// double the cost.
+func (l *Ledger) SpentTotals() (total, hottest float64) {
+	for _, e := range l.spent {
+		total += e
+		if e > hottest {
+			hottest = e
+		}
+	}
+	return total, hottest
+}
+
 // MaxSpent returns the cumulative consumption of the hottest node and
 // its index. It returns (-1, 0) for an empty ledger.
 func (l *Ledger) MaxSpent() (node int, joules float64) {

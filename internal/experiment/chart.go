@@ -1,16 +1,18 @@
-package report
+package experiment
 
 import (
 	"strconv"
 
-	"wsnq/internal/experiment"
+	"wsnq/internal/report"
 )
 
-// FromTable converts one sweep table and metric selector into a chart:
-// one series per algorithm, the swept variants on the x axis. Variant
-// labels that all parse as numbers become a numeric axis; otherwise the
-// chart is categorical.
-func FromTable(t *experiment.Table, sel experiment.MetricSelector, logY bool) (*Chart, error) {
+// TableChart converts one sweep table and metric selector into a
+// renderable chart: one series per algorithm, the swept variants on
+// the x axis. Variant labels that all parse as numbers become a
+// numeric axis; otherwise the chart is categorical. (The conversion
+// lives here, not in report, so report stays a pure renderer over
+// plain data that lower layers like telemetry can also import.)
+func TableChart(t *Table, sel MetricSelector, logY bool) (*report.Chart, error) {
 	numeric := true
 	xs := make([]float64, len(t.Variants))
 	for i, label := range t.Variants {
@@ -22,7 +24,7 @@ func FromTable(t *experiment.Table, sel experiment.MetricSelector, logY bool) (*
 		xs[i] = v
 	}
 
-	c := &Chart{
+	c := &report.Chart{
 		Title:  t.Title,
 		XLabel: t.RowLabel,
 		YLabel: sel.Name + " [" + sel.Unit + "]",
@@ -32,7 +34,7 @@ func FromTable(t *experiment.Table, sel experiment.MetricSelector, logY bool) (*
 		c.Categories = append([]string(nil), t.Variants...)
 	}
 	for _, alg := range t.Algorithms {
-		s := Series{Name: alg}
+		s := report.Series{Name: alg}
 		for i, variant := range t.Variants {
 			m, ok := t.Cell(variant, alg)
 			if !ok {

@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableChart(t *testing.T) {
+	tbl := &Table{
+		Title:      "sweep",
+		RowLabel:   "|N|",
+		Variants:   []string{"100", "200"},
+		Algorithms: []string{"IQ", "TAG"},
+		Cells:      map[string]Metrics{},
+	}
+	// Fill via the exported surface: reconstruct with Sweep-like keys is
+	// internal; use the Cells map convention from the package.
+	set := func(v, a string, e float64) {
+		tbl.Cells[v+"\x00"+a] = Metrics{MaxNodeEnergyPerRound: e}
+	}
+	set("100", "IQ", 10e-6)
+	set("100", "TAG", 50e-6)
+	set("200", "IQ", 12e-6)
+	set("200", "TAG", 80e-6)
+
+	c, err := TableChart(tbl, SelMaxEnergy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 2 || c.Categories != nil {
+		t.Fatalf("chart shape wrong: %+v", c)
+	}
+	if c.Series[0].X[1] != 200 {
+		t.Errorf("numeric x = %v", c.Series[0].X)
+	}
+	if math.Abs(c.Series[1].Y[1]-80) > 1e-9 { // µJ scaling applied
+		t.Errorf("scaled y = %v", c.Series[1].Y)
+	}
+
+	// Non-numeric variants become categorical.
+	tbl.Variants = []string{"b=2", "b=4"}
+	set("b=2", "IQ", 1e-6)
+	set("b=4", "IQ", 2e-6)
+	set("b=2", "TAG", 3e-6)
+	set("b=4", "TAG", 4e-6)
+	c, err = TableChart(tbl, SelMaxEnergy, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Categories == nil {
+		t.Error("categorical axis not detected")
+	}
+}

@@ -7,6 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"wsnq/internal/alert"
+	"wsnq/internal/series"
+	"wsnq/internal/sim"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 )
@@ -49,6 +52,20 @@ type Options struct {
 	// The registry is safe for concurrent use, so — unlike Trace —
 	// telemetry alone does not force sequential execution.
 	Telemetry *telemetry.Registry
+
+	// Series, when non-nil, records a per-round time series for every
+	// grid job into the store, keyed "cellLabel/algorithmName" (just
+	// the algorithm name outside sweeps). Like Trace it forces strictly
+	// sequential execution so each key's rounds land in deterministic
+	// grid order.
+	Series *series.Store
+
+	// Alerts, when non-nil, streams every job's raw per-round points
+	// through the alert rule engine (window state resets at each run
+	// boundary via StartRun). Implies the same sequential execution as
+	// Series; when Series is nil a small private store still derives
+	// the points but retains almost nothing.
+	Alerts *alert.Engine
 }
 
 // TraceJob identifies one grid job handed to Options.Trace.
@@ -60,10 +77,11 @@ type TraceJob struct {
 	Run           int // run (repetition) index
 }
 
-// workers resolves the effective worker count. Tracing implies one
-// worker: event streams are only meaningful in deterministic order.
+// workers resolves the effective worker count. Tracing — including the
+// series/alert collectors built on it — implies one worker: event
+// streams are only meaningful in deterministic order.
 func (o Options) workers() int {
-	if o.Trace != nil {
+	if o.Trace != nil || o.Series != nil || o.Alerts != nil {
 		return 1
 	}
 	if o.Parallelism > 0 {
@@ -251,6 +269,27 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 		reg.Histogram("sim.lifetime_rounds").Observe(m.LifetimeRounds)
 	}
 
+	// One store feeds both consumers: Options.Series when given, else
+	// (with only Alerts set) a minimal private store that merely
+	// derives the per-round points the engine streams to the rules.
+	seriesStore := opts.Series
+	if opts.Alerts != nil {
+		if seriesStore == nil {
+			seriesStore = series.New(1)
+		}
+		opts.Alerts.DefaultBudget(cfgs[0].Energy.InitialBudget)
+	}
+	seriesKey := func(j gridJob) string {
+		key := algs[j.alg].Name
+		if key == "" {
+			key = fmt.Sprintf("alg%d", j.alg)
+		}
+		if cellLabels != nil && cellLabels[j.cell] != "" {
+			key = cellLabels[j.cell] + "/" + key
+		}
+		return key
+	}
+
 	run := func(j gridJob) {
 		defer finish()
 		if ctx.Err() != nil {
@@ -272,8 +311,23 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 					Run: j.run,
 				})
 			}
+			mkTrace := func(rt *sim.Runtime) trace.Collector {
+				if seriesStore == nil {
+					return tc
+				}
+				// The series recorder samples the fresh runtime's
+				// cumulative counters at round boundaries instead of
+				// counting events — hence the late binding.
+				key := seriesKey(j)
+				var sinks []series.Sink
+				if opts.Alerts != nil {
+					opts.Alerts.StartRun(key)
+					sinks = append(sinks, opts.Alerts.Observe)
+				}
+				return trace.Multi(tc, seriesStore.IngestTotals(key, SeriesSampler(rt), sinks...))
+			}
 			var m Metrics
-			m, err = runOn(cfg, dep, algs[j.alg].New(), tc)
+			m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace)
 			if err == nil {
 				perRun[j.cell][j.alg][j.run] = []Metrics{m}
 				record(algs[j.alg].Name, m, time.Since(jobStart))

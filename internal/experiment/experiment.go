@@ -256,16 +256,20 @@ func aggregate(runs []Metrics) Metrics {
 
 // runOn executes one simulation run of alg on a (possibly shared)
 // deployment. It builds its own runtime, so concurrent calls with the
-// same deployment are safe. A non-nil tc attaches a flight recorder to
-// the run's runtime; each round's answer is then recorded as a decision
-// event.
-func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, tc trace.Collector) (Metrics, error) {
+// same deployment are safe. mkTrace, when non-nil, is handed the fresh
+// runtime and may return a flight-recorder collector to attach (nil to
+// run untraced) — late binding that lets collectors sample the
+// runtime's live counters (series.Store.IngestTotals); each round's
+// answer is then recorded as a decision event.
+func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*sim.Runtime) trace.Collector) (Metrics, error) {
 	rt, err := dep.NewRuntime(cfg)
 	if err != nil {
 		return Metrics{}, err
 	}
-	if tc != nil {
-		rt.SetTrace(tc)
+	if mkTrace != nil {
+		if tc := mkTrace(rt); tc != nil {
+			rt.SetTrace(tc)
+		}
 	}
 	k := cfg.K()
 
@@ -319,6 +323,7 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, tc trace.Collect
 		}
 		record(q)
 	}
+	rt.EndTrace()
 
 	rounds := float64(m.Rounds)
 	_, hottest := rt.Ledger().MaxSpent()
@@ -349,28 +354,10 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, tc trace.Collect
 
 // rankError returns the distance between k and the closest rank the
 // reported value occupies in the true (oracle) data; 0 means exact.
+// The computation lives on the runtime (RankErrorOf) so the flight
+// recorder can stamp decision events with the same figure.
 func rankError(rt *sim.Runtime, k, reported int) int {
-	below, equal := 0, 0
-	for i := 0; i < rt.N(); i++ {
-		v := rt.Reading(i)
-		if v < reported {
-			below++
-		} else if v == reported {
-			equal++
-		}
-	}
-	// With equal == 0 the reported value does not exist in the data; it
-	// would sit between ranks below and below+1, so the distance to k
-	// is at least 1.
-	loRank, hiRank := below+1, below+equal
-	switch {
-	case k < loRank:
-		return loRank - k
-	case k > hiRank:
-		return k - hiRank
-	default:
-		return 0
-	}
+	return rt.RankErrorOf(k, reported)
 }
 
 // fairness computes the Gini coefficient and the hotspot-to-median

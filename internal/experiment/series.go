@@ -1,0 +1,28 @@
+package experiment
+
+import (
+	"wsnq/internal/series"
+	"wsnq/internal/sim"
+)
+
+// SeriesSampler adapts a runtime's cumulative counters to the series
+// recorder's sampling fast path (series.Store.IngestTotals): traffic
+// from the stats block, phase bits folded into the recorder's three
+// named buckets (validation+filter, refinement, collect+init), and both
+// energy watermarks from one ledger pass.
+func SeriesSampler(rt *sim.Runtime) series.Sampler {
+	return func() series.Totals {
+		st := rt.Stats()
+		total, hottest := rt.Ledger().SpentTotals()
+		return series.Totals{
+			Messages:       st.PayloadsSent,
+			Frames:         st.FramesSent,
+			ValidationBits: st.PerPhase[sim.PhaseValidation].Bits + st.PerPhase[sim.PhaseFilter].Bits,
+			RefinementBits: st.PerPhase[sim.PhaseRefinement].Bits,
+			ShippingBits:   st.PerPhase[sim.PhaseCollect].Bits + st.PerPhase[sim.PhaseInit].Bits,
+			TotalBits:      st.BitsSent,
+			Joules:         total,
+			HotJoules:      hottest,
+		}
+	}
+}

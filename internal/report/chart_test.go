@@ -4,8 +4,6 @@ import (
 	"math"
 	"strings"
 	"testing"
-
-	"wsnq/internal/experiment"
 )
 
 func sampleChart() *Chart {
@@ -142,52 +140,5 @@ func TestFormatTick(t *testing.T) {
 		if got := formatTick(c.v, false); got != c.want {
 			t.Errorf("formatTick(%v) = %q, want %q", c.v, got, c.want)
 		}
-	}
-}
-
-func TestFromTable(t *testing.T) {
-	tbl := &experiment.Table{
-		Title:      "sweep",
-		RowLabel:   "|N|",
-		Variants:   []string{"100", "200"},
-		Algorithms: []string{"IQ", "TAG"},
-		Cells:      map[string]experiment.Metrics{},
-	}
-	// Fill via the exported surface: reconstruct with Sweep-like keys is
-	// internal; use the Cells map convention from the package.
-	set := func(v, a string, e float64) {
-		tbl.Cells[v+"\x00"+a] = experiment.Metrics{MaxNodeEnergyPerRound: e}
-	}
-	set("100", "IQ", 10e-6)
-	set("100", "TAG", 50e-6)
-	set("200", "IQ", 12e-6)
-	set("200", "TAG", 80e-6)
-
-	c, err := FromTable(tbl, experiment.SelMaxEnergy, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(c.Series) != 2 || c.Categories != nil {
-		t.Fatalf("chart shape wrong: %+v", c)
-	}
-	if c.Series[0].X[1] != 200 {
-		t.Errorf("numeric x = %v", c.Series[0].X)
-	}
-	if math.Abs(c.Series[1].Y[1]-80) > 1e-9 { // µJ scaling applied
-		t.Errorf("scaled y = %v", c.Series[1].Y)
-	}
-
-	// Non-numeric variants become categorical.
-	tbl.Variants = []string{"b=2", "b=4"}
-	set("b=2", "IQ", 1e-6)
-	set("b=4", "IQ", 2e-6)
-	set("b=2", "TAG", 3e-6)
-	set("b=4", "TAG", 4e-6)
-	c, err = FromTable(tbl, experiment.SelMaxEnergy, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.Categories == nil {
-		t.Error("categorical axis not detected")
 	}
 }

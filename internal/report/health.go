@@ -4,35 +4,76 @@ import (
 	"fmt"
 	"math"
 	"strings"
-
-	"wsnq/internal/telemetry"
 )
+
+// HealthView is the plain-data slice of a network-health report that
+// the renderers below consume. The report package stays free of a
+// telemetry dependency (telemetry.HealthReport.View produces this), so
+// telemetry can embed these renderers in its HTTP dashboard without an
+// import cycle.
+type HealthView struct {
+	Nodes  int
+	Rounds int
+
+	JainMessages float64
+	JainEnergy   float64
+
+	// Per-node energy distribution moments, for the mean/median
+	// depletion lines.
+	EnergyMean float64
+	EnergyP50  float64
+
+	Lifetime LifetimeView
+	PerNode  []NodeLoad
+}
+
+// LifetimeView is the first-node-death projection: with the hottest
+// node draining MaxDrainPerRound joules each round from an initial
+// Budget, the network loses its first node after ProjectedRounds
+// rounds. ProjectedRounds 0 means no projection.
+type LifetimeView struct {
+	Budget           float64
+	HottestNode      int
+	MaxDrainPerRound float64
+	ProjectedRounds  float64
+}
+
+// NodeLoad is one node's aggregated load, as reported to heatmaps.
+type NodeLoad struct {
+	Node          int
+	Sends         int
+	Receives      int
+	Frames        int
+	BitsOut       int
+	Joules        float64
+	DrainPerRound float64
+}
 
 // heatWidth is the width of the heatmap bar in characters; a full bar
 // is the most energy-loaded node.
 const heatWidth = 20
 
-// LoadHeatmap renders a network-health report as a per-node load table
+// LoadHeatmap renders a network-health view as a per-node load table
 // with an ASCII heat bar proportional to each node's energy drain.
 // Rows are ordered hottest-first (energy descending, node index as the
 // tie-break) so the table reads like the hotspot list. A positive limit
 // truncates the table to the top rows and notes how many were cut.
-func LoadHeatmap(r telemetry.HealthReport, limit int) string {
+func LoadHeatmap(v HealthView, limit int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "network health: %d nodes, %d rounds\n", r.Nodes, r.Rounds)
-	fmt.Fprintf(&b, "fairness: Jain(messages)=%.3f  Jain(energy)=%.3f\n", r.JainMessages, r.JainEnergy)
-	if r.Lifetime.ProjectedRounds > 0 {
+	fmt.Fprintf(&b, "network health: %d nodes, %d rounds\n", v.Nodes, v.Rounds)
+	fmt.Fprintf(&b, "fairness: Jain(messages)=%.3f  Jain(energy)=%.3f\n", v.JainMessages, v.JainEnergy)
+	if v.Lifetime.ProjectedRounds > 0 {
 		fmt.Fprintf(&b, "lifetime: hottest node %d drains %.2e J/round, first death at round %.0f\n",
-			r.Lifetime.HottestNode, r.Lifetime.MaxDrainPerRound, r.Lifetime.ProjectedRounds)
+			v.Lifetime.HottestNode, v.Lifetime.MaxDrainPerRound, v.Lifetime.ProjectedRounds)
 	} else {
 		b.WriteString("lifetime: no projection (unknown budget or no drain observed)\n")
 	}
-	if len(r.PerNode) == 0 {
+	if len(v.PerNode) == 0 {
 		return b.String()
 	}
 
-	rows := append([]telemetry.NodeLoad(nil), r.PerNode...)
-	// Hottest-first; the report's PerNode slice is in node order.
+	rows := append([]NodeLoad(nil), v.PerNode...)
+	// Hottest-first; the view's PerNode slice is in node order.
 	for i := 1; i < len(rows); i++ {
 		for j := i; j > 0 && hotter(rows[j], rows[j-1]); j-- {
 			rows[j], rows[j-1] = rows[j-1], rows[j]
@@ -60,7 +101,7 @@ func LoadHeatmap(r telemetry.HealthReport, limit int) string {
 }
 
 // hotter orders heatmap rows: energy descending, node index ascending.
-func hotter(a, b telemetry.NodeLoad) bool {
+func hotter(a, b NodeLoad) bool {
 	if a.Joules != b.Joules {
 		return a.Joules > b.Joules
 	}
@@ -86,21 +127,21 @@ const lifetimeSamples = 5
 // LifetimeChart renders the first-node-death projection as a chart:
 // remaining energy budget over rounds for the hottest node (which hits
 // zero at the projected death round), the mean node, and the median
-// node, all draining linearly at the rates the health report measured.
-// The report must carry a projection (known budget, observed drain).
-func LifetimeChart(r telemetry.HealthReport) (*Chart, error) {
-	lt := r.Lifetime
-	if lt.ProjectedRounds <= 0 || lt.Budget <= 0 || r.Rounds <= 0 {
-		return nil, fmt.Errorf("report: health report carries no lifetime projection")
+// node, all draining linearly at the rates the health view measured.
+// The view must carry a projection (known budget, observed drain).
+func LifetimeChart(v HealthView) (*Chart, error) {
+	lt := v.Lifetime
+	if lt.ProjectedRounds <= 0 || lt.Budget <= 0 || v.Rounds <= 0 {
+		return nil, fmt.Errorf("report: health view carries no lifetime projection")
 	}
-	rounds := float64(r.Rounds)
+	rounds := float64(v.Rounds)
 	lines := []struct {
 		name  string
 		drain float64 // joules per round
 	}{
 		{fmt.Sprintf("hottest (node %d)", lt.HottestNode), lt.MaxDrainPerRound},
-		{"mean node", r.Energy.Mean / rounds},
-		{"median node", r.Energy.P50 / rounds},
+		{"mean node", v.EnergyMean / rounds},
+		{"median node", v.EnergyP50 / rounds},
 	}
 
 	c := &Chart{

@@ -3,26 +3,25 @@ package report
 import (
 	"strings"
 	"testing"
-
-	"wsnq/internal/telemetry"
 )
 
-// healthReport is a hand-built three-node report with clean numbers so
+// healthReport is a hand-built three-node view with clean numbers so
 // the heatmap golden string is readable.
-func healthReport() telemetry.HealthReport {
-	return telemetry.HealthReport{
+func healthReport() HealthView {
+	return HealthView{
 		Nodes:        3,
 		Rounds:       3,
 		JainMessages: 0.8,
 		JainEnergy:   0.75,
-		Energy:       telemetry.Distribution{Mean: 3.5e-6, P50: 3e-6, Max: 6e-6},
-		Lifetime: telemetry.Lifetime{
+		EnergyMean:   3.5e-6,
+		EnergyP50:    3e-6,
+		Lifetime: LifetimeView{
 			Budget:           0.03,
 			HottestNode:      0,
 			MaxDrainPerRound: 2e-6,
 			ProjectedRounds:  15000,
 		},
-		PerNode: []telemetry.NodeLoad{
+		PerNode: []NodeLoad{
 			{Node: 0, Sends: 2, Receives: 1, Frames: 3, BitsOut: 256, Joules: 6e-6, DrainPerRound: 2e-6},
 			{Node: 1, Sends: 1, Receives: 0, Frames: 1, BitsOut: 128, Joules: 3e-6, DrainPerRound: 1e-6},
 			{Node: 2, Sends: 1, Receives: 0, Frames: 1, BitsOut: 64, Joules: 1.5e-6, DrainPerRound: 5e-7},
@@ -70,7 +69,7 @@ func TestLoadHeatmapOrdersHottestFirst(t *testing.T) {
 }
 
 func TestLoadHeatmapNoProjection(t *testing.T) {
-	got := LoadHeatmap(telemetry.HealthReport{JainMessages: 1, JainEnergy: 1}, 0)
+	got := LoadHeatmap(HealthView{JainMessages: 1, JainEnergy: 1}, 0)
 	want := `network health: 0 nodes, 0 rounds
 fairness: Jain(messages)=1.000  Jain(energy)=1.000
 lifetime: no projection (unknown budget or no drain observed)
@@ -120,7 +119,7 @@ func TestLifetimeChart(t *testing.T) {
 }
 
 func TestLifetimeChartNoProjection(t *testing.T) {
-	if _, err := LifetimeChart(telemetry.HealthReport{}); err == nil {
+	if _, err := LifetimeChart(HealthView{}); err == nil {
 		t.Fatal("want an error for a report without a projection")
 	}
 }

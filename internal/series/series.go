@@ -1,0 +1,468 @@
+// Package series is a fixed-capacity, per-key time-series store fed
+// per round from the flight recorder. Each key (one algorithm, or
+// "cell/algorithm" inside a grid study) accumulates one Point per
+// simulated round: frames, messages, joules, the decision's absolute
+// rank error, refinement requests, the per-phase wire-bit anatomy
+// (validation vs. refinement vs. raw-value shipping), and the running
+// maximum of any single node's cumulative energy drain.
+//
+// Memory is bounded: when a key reaches the store's capacity, adjacent
+// points are pairwise merged and the sampling stride doubles
+// (1, 2, 4, ... rounds per point), so a million-round study still fits
+// in the same footprint at progressively coarser resolution. Alert
+// sinks always observe the raw span-1 points before any downsampling.
+//
+// The package is stdlib-only (plus the repo's own trace and mathx
+// packages) and the Store is safe for concurrent use: ingesters append
+// under the store mutex while HTTP handlers snapshot.
+package series
+
+import (
+	"sort"
+	"sync"
+
+	"wsnq/internal/mathx"
+	"wsnq/internal/trace"
+)
+
+// DefaultCapacity is the per-key point budget of stores built with
+// New(0): enough for full resolution over short studies and ~2 KiB of
+// points per key once striding kicks in.
+const DefaultCapacity = 512
+
+// minCapacity keeps the pairwise-merge downsampler well-formed.
+const minCapacity = 8
+
+// Phase labels as they appear on trace events (mirrors the
+// sim.Phase* constants; series_test cross-checks the vocabulary so the
+// two cannot drift apart silently).
+const (
+	phaseInit       = "init"
+	phaseValidation = "validation"
+	phaseRefinement = "refinement"
+	phaseFilter     = "filter"
+	phaseCollect    = "collect"
+)
+
+// Point is one sample of a key's time series covering Span consecutive
+// rounds starting at Round. Additive fields (frames, messages, joules,
+// refines, the phase bit buckets) sum over the span; RankError keeps
+// the worst round; HotJoules is the running per-node cumulative-drain
+// maximum at the end of the span.
+type Point struct {
+	Round          int     `json:"round"`
+	Span           int     `json:"span"`
+	Frames         int     `json:"frames"`
+	Messages       int     `json:"messages"`
+	Joules         float64 `json:"joules"`
+	RankError      int     `json:"rank_error"`
+	Refines        int     `json:"refines"`
+	ValidationBits int     `json:"validation_bits"`
+	RefinementBits int     `json:"refinement_bits"`
+	ShippingBits   int     `json:"shipping_bits"`
+	OtherBits      int     `json:"other_bits"`
+	HotJoules      float64 `json:"hot_joules"`
+}
+
+// Bits returns the total wire bits of the span (all phase buckets).
+func (p Point) Bits() int {
+	return p.ValidationBits + p.RefinementBits + p.ShippingBits + p.OtherBits
+}
+
+// span returns Span, never below one, so per-round rates are safe on
+// zero-valued points.
+func (p Point) span() float64 {
+	if p.Span < 1 {
+		return 1
+	}
+	return float64(p.Span)
+}
+
+// FramesPerRound returns the span-normalized frame rate.
+func (p Point) FramesPerRound() float64 { return float64(p.Frames) / p.span() }
+
+// MessagesPerRound returns the span-normalized message rate.
+func (p Point) MessagesPerRound() float64 { return float64(p.Messages) / p.span() }
+
+// JoulesPerRound returns the span-normalized energy rate.
+func (p Point) JoulesPerRound() float64 { return p.Joules / p.span() }
+
+// BitsPerRound returns the span-normalized total wire-bit rate.
+func (p Point) BitsPerRound() float64 { return float64(p.Bits()) / p.span() }
+
+// merge folds b (the later span) into a (the earlier): sums add, the
+// rank error keeps the worst round, and HotJoules takes the later
+// running maximum (cumulative drain is monotonic within a run).
+func merge(a, b Point) Point {
+	a.Span += b.Span
+	a.Frames += b.Frames
+	a.Messages += b.Messages
+	a.Joules += b.Joules
+	a.Refines += b.Refines
+	a.ValidationBits += b.ValidationBits
+	a.RefinementBits += b.RefinementBits
+	a.ShippingBits += b.ShippingBits
+	a.OtherBits += b.OtherBits
+	if b.RankError > a.RankError {
+		a.RankError = b.RankError
+	}
+	a.HotJoules = b.HotJoules
+	return a
+}
+
+// Sink observes every raw span-1 point of a key as it is ingested,
+// before downsampling — the streaming hook the alert engine attaches
+// to. Sinks run synchronously on the simulation hot path.
+type Sink func(key string, p Point)
+
+// Store holds one downsampled series per key.
+type Store struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*state
+}
+
+// state is one key's series under the store mutex.
+type state struct {
+	pts     []Point
+	stride  int   // rounds per stored point
+	pending Point // partial point until Span reaches stride
+	rounds  int   // total rounds ingested (also the next round index)
+}
+
+// New builds a store retaining at most capacity points per key;
+// capacity <= 0 selects DefaultCapacity and small values are clamped
+// so the pairwise downsampler always has room to halve.
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if capacity < minCapacity {
+		capacity = minCapacity
+	}
+	return &Store{cap: capacity, m: make(map[string]*state)}
+}
+
+// Capacity returns the per-key point budget.
+func (s *Store) Capacity() int { return s.cap }
+
+func (s *Store) state(key string) *state {
+	st, ok := s.m[key]
+	if !ok {
+		st = &state{stride: 1}
+		s.m[key] = st
+	}
+	return st
+}
+
+// append ingests one raw span-1 point for key and returns the global
+// round index it was assigned (monotonic per key across runs).
+func (s *Store) append(key string, p Point) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state(key)
+	round := st.rounds
+	st.rounds++
+	p.Round = round
+	p.Span = 1
+	if st.pending.Span == 0 {
+		st.pending = p
+	} else {
+		st.pending = merge(st.pending, p)
+	}
+	if st.pending.Span < st.stride {
+		return round
+	}
+	st.pts = append(st.pts, st.pending)
+	st.pending = Point{}
+	if len(st.pts) >= s.cap {
+		// Halve the resolution: merge adjacent pairs and double the
+		// stride. An odd tail point becomes the new partial pending.
+		half := st.pts[:0]
+		n := len(st.pts)
+		for i := 0; i+1 < n; i += 2 {
+			half = append(half, merge(st.pts[i], st.pts[i+1]))
+		}
+		if n%2 == 1 {
+			st.pending = st.pts[n-1]
+		}
+		st.pts = half
+		st.stride *= 2
+	}
+	return round
+}
+
+// Keys returns the store's keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Points returns a copy of key's stored points (the partial pending
+// span included, so the freshest rounds are never invisible), oldest
+// first. Nil for an unknown key.
+func (s *Store) Points(key string) []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.m[key]
+	if !ok {
+		return nil
+	}
+	return st.points()
+}
+
+func (st *state) points() []Point {
+	pts := make([]Point, 0, len(st.pts)+1)
+	pts = append(pts, st.pts...)
+	if st.pending.Span > 0 {
+		pts = append(pts, st.pending)
+	}
+	return pts
+}
+
+// Snapshot is the exported state of one key's series.
+type Snapshot struct {
+	Stride int     `json:"stride"` // rounds per full point
+	Rounds int     `json:"rounds"` // total rounds ingested
+	Points []Point `json:"points"`
+}
+
+// Snapshot exports every key's series; the map is fresh and safe to
+// encode while ingestion continues.
+func (s *Store) Snapshot() map[string]Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Snapshot, len(s.m))
+	for k, st := range s.m {
+		out[k] = Snapshot{Stride: st.stride, Rounds: st.rounds, Points: st.points()}
+	}
+	return out
+}
+
+// WindowStats summarizes f over a sliding window of stored points.
+type WindowStats struct {
+	Points int     `json:"points"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	P95    float64 `json:"p95"`
+}
+
+// Window evaluates f over the newest lastN stored points of key
+// (lastN <= 0 means all) and returns their mean, max, and nearest-rank
+// p95. Stored points may span multiple rounds once the series has
+// downsampled; pass the span-normalized Point accessors
+// (Point.JoulesPerRound et al.) when a per-round rate is wanted. The
+// zero WindowStats is returned for an unknown or empty key.
+func (s *Store) Window(key string, lastN int, f func(Point) float64) WindowStats {
+	s.mu.Lock()
+	st, ok := s.m[key]
+	var pts []Point
+	if ok {
+		pts = st.points()
+	}
+	s.mu.Unlock()
+	if len(pts) == 0 {
+		return WindowStats{}
+	}
+	if lastN > 0 && len(pts) > lastN {
+		pts = pts[len(pts)-lastN:]
+	}
+	vs := make([]float64, len(pts))
+	sum := 0.0
+	for i, p := range pts {
+		vs[i] = f(p)
+		sum += vs[i]
+	}
+	w := WindowStats{Points: len(vs), Mean: sum / float64(len(vs)), Max: vs[0]}
+	for _, v := range vs[1:] {
+		if v > w.Max {
+			w.Max = v
+		}
+	}
+	w.P95 = mathx.QuantileFloat64(vs, 0.95)
+	return w
+}
+
+// Totals is one monotonic sample of a running simulation's cumulative
+// traffic and energy counters, as a Sampler reads them. Diffing two
+// samples yields the same per-round numbers the event-driven ingester
+// accumulates: the runtime books every transmission into exactly one
+// phase bucket and emits exactly one send event for it.
+type Totals struct {
+	Messages       int     // logical payload transmissions (per hop)
+	Frames         int     // link-layer frames
+	ValidationBits int     // wire bits booked to validation and filter phases
+	RefinementBits int     // wire bits booked to the refinement phase
+	ShippingBits   int     // wire bits booked to collection and init phases
+	TotalBits      int     // all wire bits (the remainder becomes OtherBits)
+	Joules         float64 // network-wide cumulative consumption
+	HotJoules      float64 // hottest single node's cumulative consumption
+}
+
+// Sampler reads the live cumulative counters of a running simulation.
+// It is called once per round, at round boundaries only.
+type Sampler func() Totals
+
+// IngestTotals is the sampling fast path of Ingest: instead of counting
+// every send and energy event, it samples the run's cumulative counters
+// once per round and stores the difference, so the per-event cost on the
+// traced hot path collapses to one switch dispatch. Only the two
+// event kinds without a cumulative counter — the round's decision (rank
+// error) and refinement requests — are still read from the stream.
+// Use it whenever the live runtime is at hand (the experiment engine
+// and Simulation do); Ingest remains for replaying recorded streams,
+// where no counters exist to sample.
+func (s *Store) IngestTotals(key string, sample Sampler, sinks ...Sink) trace.Collector {
+	return &totalsIngester{store: s, key: key, sample: sample, sinks: sinks}
+}
+
+// totalsIngester diffs per-round counter samples into points. The
+// previous round's closing sample doubles as the next round's opening
+// one: nothing runs between a round end and the following round start,
+// so one Sampler call per round suffices.
+type totalsIngester struct {
+	store   *Store
+	key     string
+	sample  Sampler
+	sinks   []Sink
+	prev    Totals
+	primed  bool
+	open    bool
+	rankErr int
+	refines int
+}
+
+func (in *totalsIngester) Collect(e trace.Event) {
+	// Single predictable compare for the torrent of per-hop events
+	// (send, receive, drop, fragment, energy — the contiguous kinds
+	// between the round markers and the decision): they carry nothing
+	// the counters don't already hold.
+	if e.Kind >= trace.KindSend && e.Kind <= trace.KindEnergy {
+		return
+	}
+	switch e.Kind {
+	case trace.KindRoundStart:
+		if !in.primed {
+			in.prev = in.sample()
+			in.primed = true
+		}
+		in.rankErr, in.refines = 0, 0
+		in.open = true
+	case trace.KindRoundEnd:
+		if !in.open {
+			return
+		}
+		in.open = false
+		t := in.sample()
+		p := Point{
+			Span:           1,
+			Messages:       t.Messages - in.prev.Messages,
+			Frames:         t.Frames - in.prev.Frames,
+			Joules:         t.Joules - in.prev.Joules,
+			RankError:      in.rankErr,
+			Refines:        in.refines,
+			ValidationBits: t.ValidationBits - in.prev.ValidationBits,
+			RefinementBits: t.RefinementBits - in.prev.RefinementBits,
+			ShippingBits:   t.ShippingBits - in.prev.ShippingBits,
+			HotJoules:      t.HotJoules,
+		}
+		p.OtherBits = (t.TotalBits - in.prev.TotalBits) -
+			(p.ValidationBits + p.RefinementBits + p.ShippingBits)
+		in.prev = t
+		p.Round = in.store.append(in.key, p)
+		for _, sink := range in.sinks {
+			sink(in.key, p)
+		}
+	case trace.KindDecision:
+		if e.Err > in.rankErr {
+			in.rankErr = e.Err
+		}
+	case trace.KindRefine:
+		in.refines++
+	}
+}
+
+// Ingest returns a trace collector that accumulates key's events into
+// one Point per round, appends it to the store on every round end, and
+// hands the raw span-1 point to each sink. One ingester observes one
+// sequential event stream (the experiment engine forces sequential
+// grids whenever a series store is attached); use separate ingesters
+// for separate streams.
+func (s *Store) Ingest(key string, sinks ...Sink) trace.Collector {
+	return &ingester{store: s, key: key, sinks: sinks}
+}
+
+// ingester folds one run's event stream into per-round points.
+// Per-node cumulative joules feed the HotJoules watermark.
+type ingester struct {
+	store *Store
+	key   string
+	sinks []Sink
+	cur   Point
+	open  bool
+	node  []float64 // cumulative joules by node index this run
+	hot   float64   // max cumulative drain of any single node
+}
+
+func (in *ingester) Collect(e trace.Event) {
+	switch e.Kind {
+	case trace.KindRoundStart:
+		in.cur = Point{}
+		in.open = true
+	case trace.KindRoundEnd:
+		if !in.open {
+			return
+		}
+		in.open = false
+		// One watermark scan per round beats a compare on every energy
+		// event: per-node cumulative drain only grows, so the max over
+		// the slice is the monotonic high-water mark.
+		hot := in.hot
+		for _, j := range in.node {
+			if j > hot {
+				hot = j
+			}
+		}
+		in.hot = hot
+		p := in.cur
+		p.HotJoules = hot
+		p.Span = 1
+		p.Round = in.store.append(in.key, p)
+		for _, sink := range in.sinks {
+			sink(in.key, p)
+		}
+	case trace.KindSend:
+		in.cur.Messages++
+		in.cur.Frames += e.Frames
+		switch e.Phase {
+		case phaseValidation, phaseFilter:
+			in.cur.ValidationBits += e.Wire
+		case phaseRefinement:
+			in.cur.RefinementBits += e.Wire
+		case phaseCollect, phaseInit:
+			in.cur.ShippingBits += e.Wire
+		default:
+			in.cur.OtherBits += e.Wire
+		}
+	case trace.KindEnergy:
+		in.cur.Joules += e.Joules
+		if n := e.Node; n >= 0 {
+			if n >= len(in.node) {
+				in.node = append(in.node, make([]float64, n+1-len(in.node))...)
+			}
+			in.node[n] += e.Joules
+		}
+	case trace.KindDecision:
+		if e.Err > in.cur.RankError {
+			in.cur.RankError = e.Err
+		}
+	case trace.KindRefine:
+		in.cur.Refines++
+	}
+}

@@ -1,0 +1,59 @@
+package series
+
+import (
+	"testing"
+
+	"wsnq/internal/sim"
+)
+
+// TestPhaseVocabularyMatchesSim pins the package-local phase labels to
+// the sim constants the algorithms actually stamp on trace events, so
+// the two vocabularies cannot drift apart silently (a drift would
+// quietly shunt every bit into OtherBits).
+func TestPhaseVocabularyMatchesSim(t *testing.T) {
+	pairs := []struct {
+		name      string
+		ours, sim string
+	}{
+		{"init", phaseInit, sim.PhaseInit},
+		{"validation", phaseValidation, sim.PhaseValidation},
+		{"refinement", phaseRefinement, sim.PhaseRefinement},
+		{"filter", phaseFilter, sim.PhaseFilter},
+		{"collect", phaseCollect, sim.PhaseCollect},
+	}
+	for _, p := range pairs {
+		if p.ours != p.sim {
+			t.Errorf("phase %s: series uses %q, sim emits %q", p.name, p.ours, p.sim)
+		}
+	}
+}
+
+// TestDownsampleInternals checks the stride bookkeeping directly: after
+// the first halving the stored stride doubles and an odd tail becomes
+// the new pending partial.
+func TestDownsampleInternals(t *testing.T) {
+	s := New(minCapacity) // capacity 8
+	for r := 0; r < minCapacity; r++ {
+		s.append("k", Point{Frames: 1})
+	}
+	s.mu.Lock()
+	st := s.m["k"]
+	if st.stride != 2 {
+		t.Errorf("stride after first halving = %d, want 2", st.stride)
+	}
+	if len(st.pts) != minCapacity/2 {
+		t.Errorf("stored points = %d, want %d", len(st.pts), minCapacity/2)
+	}
+	if st.pending.Span != 0 {
+		t.Errorf("pending span = %d, want 0 (even point count merged cleanly)", st.pending.Span)
+	}
+	s.mu.Unlock()
+
+	// One more round starts a partial pending span at the new stride.
+	s.append("k", Point{Frames: 1})
+	s.mu.Lock()
+	if st.pending.Span != 1 {
+		t.Errorf("pending span after one more round = %d, want 1", st.pending.Span)
+	}
+	s.mu.Unlock()
+}

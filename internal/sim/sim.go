@@ -238,8 +238,22 @@ func (rt *Runtime) AdvanceRound() {
 	}
 }
 
+// EndTrace marks the end of the event stream: it emits the final
+// round's RoundEnd event, which AdvanceRound otherwise only emits once
+// the next round begins. Run drivers call it once after the last
+// round, so per-round collectors (series ingestion, the invariant
+// oracle) see the closing round too. A no-op without a collector.
+func (rt *Runtime) EndTrace() {
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Collect(trace.Event{Kind: trace.KindRoundEnd, Round: rt.round, Node: -1})
+}
+
 // TraceDecision records the root's reported quantile for the current
-// round in the flight recorder: the answer q for the queried rank k.
+// round in the flight recorder: the answer q for the queried rank k,
+// stamped with the decision's absolute rank error against the oracle
+// data (an O(N) scan, paid only when a collector is attached).
 // Drivers (the experiment harness, Simulation.Step, test harnesses)
 // call it once per round; the invariant oracle replays these events
 // against a centralized sort oracle. A no-op without a collector.
@@ -249,8 +263,34 @@ func (rt *Runtime) TraceDecision(k, q int) {
 	}
 	rt.tr.Collect(trace.Event{
 		Kind: trace.KindDecision, Round: rt.round, Phase: rt.Phase(),
-		Node: -1, Value: q, Aux: k,
+		Node: -1, Value: q, Aux: k, Err: rt.RankErrorOf(k, q),
 	})
+}
+
+// RankErrorOf returns the distance between k and the closest rank the
+// reported value occupies in the true (oracle) data; 0 means exact.
+func (rt *Runtime) RankErrorOf(k, reported int) int {
+	below, equal := 0, 0
+	for i := 0; i < rt.N(); i++ {
+		v := rt.Reading(i)
+		if v < reported {
+			below++
+		} else if v == reported {
+			equal++
+		}
+	}
+	// With equal == 0 the reported value does not exist in the data; it
+	// would sit between ranks below and below+1, so the distance to k
+	// is at least 1.
+	loRank, hiRank := below+1, below+equal
+	switch {
+	case k < loRank:
+		return loRank - k
+	case k > hiRank:
+		return k - hiRank
+	default:
+		return 0
+	}
 }
 
 // TraceRefine records a root-issued refinement/collection request over

@@ -181,3 +181,35 @@ func TestAnalyzerHotspotCap(t *testing.T) {
 		t.Errorf("top hotspot = %d, want 9", r.Hotspots[0].Node)
 	}
 }
+
+// TestHotspotTieOrdering is the regression guard for hotspot ranking on
+// load ties: equal-energy nodes must list in ascending node-ID order,
+// every time, so two runs of the same study render the same report.
+func TestHotspotTieOrdering(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		a := NewAnalyzer(0)
+		// Six nodes in scrambled observation order: 4 and 1 tie at the
+		// top, 5, 2, and 0 tie below, node 3 is cold.
+		a.Collect(trace.Event{Kind: trace.KindRoundStart, Round: 0})
+		for _, n := range []int{5, 1, 4, 0, 2} {
+			j := 1e-6
+			if n == 1 || n == 4 {
+				j = 3e-6
+			}
+			a.Collect(trace.Event{Kind: trace.KindEnergy, Round: 0, Node: n, Joules: j, Aux: trace.EnergySend})
+		}
+		a.Collect(trace.Event{Kind: trace.KindReceive, Round: 0, Node: 3, Peer: 0, Wire: 8})
+		a.Collect(trace.Event{Kind: trace.KindRoundEnd, Round: 0})
+
+		r := a.Report()
+		want := []int{1, 4, 0, 2, 5} // energy desc, node asc on ties; cold node 3 excluded
+		if len(r.Hotspots) != len(want) {
+			t.Fatalf("trial %d: %d hotspots, want %d", trial, len(r.Hotspots), len(want))
+		}
+		for i, n := range want {
+			if r.Hotspots[i].Node != n {
+				t.Fatalf("trial %d: hotspots order = %+v, want nodes %v", trial, r.Hotspots, want)
+			}
+		}
+	}
+}

@@ -7,18 +7,30 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+
+	"wsnq/internal/alert"
+	"wsnq/internal/report"
+	"wsnq/internal/series"
 )
+
+// dashboardEvents bounds the recent-events list on the dashboard page.
+const dashboardEvents = 20
 
 // Handler returns the live exposition surface shared by all cmd tools:
 //
 //	/metrics       JSON registry snapshot (nil reg → 404)
 //	/health        JSON analyzer health report (nil an → 404)
+//	/series        JSON per-round time-series snapshot (nil st → 404)
+//	/alerts        JSON alert rules, states, and log (nil eng → 404)
+//	/dashboard     self-contained HTML: sparklines, charts, alerts
 //	/debug/pprof/  the standard net/http/pprof profiling hooks
 //	/              a plain-text index of the above
 //
-// Either argument may be nil; the corresponding endpoint then reports
-// 404 instead of serving empty data.
-func Handler(reg *Registry, an *Analyzer) http.Handler {
+// Any argument may be nil; the corresponding endpoint then reports
+// 404 instead of serving empty data (the dashboard needs at least a
+// series store).
+func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if reg == nil {
@@ -34,6 +46,28 @@ func Handler(reg *Registry, an *Analyzer) http.Handler {
 		}
 		writeJSON(w, an.Report())
 	})
+	mux.HandleFunc("/series", func(w http.ResponseWriter, req *http.Request) {
+		if st == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, st.Snapshot())
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, req *http.Request) {
+		if eng == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, alertsView(eng))
+	})
+	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, req *http.Request) {
+		if st == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, report.Dashboard(dashData(st, eng)))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -48,9 +82,80 @@ func Handler(reg *Registry, an *Analyzer) http.Handler {
 		fmt.Fprintln(w, "wsnq telemetry endpoints:")
 		fmt.Fprintln(w, "  /metrics      registry snapshot (JSON)")
 		fmt.Fprintln(w, "  /health       network-health report (JSON)")
+		fmt.Fprintln(w, "  /series       per-round time series (JSON)")
+		fmt.Fprintln(w, "  /alerts       alert states and log (JSON)")
+		fmt.Fprintln(w, "  /dashboard    live HTML dashboard")
 		fmt.Fprintln(w, "  /debug/pprof  runtime profiles")
 	})
 	return mux
+}
+
+// AlertsView is the /alerts response body.
+type AlertsView struct {
+	Rules   []string      `json:"rules"` // canonical grammar strings
+	States  []alert.State `json:"states"`
+	Events  []alert.Event `json:"events"`
+	Dropped int           `json:"dropped_events,omitempty"`
+}
+
+func alertsView(eng *alert.Engine) AlertsView {
+	v := AlertsView{
+		States:  eng.States(),
+		Events:  eng.Log(),
+		Dropped: eng.Dropped(),
+	}
+	for _, r := range eng.Rules() {
+		v.Rules = append(v.Rules, r.String())
+	}
+	return v
+}
+
+// dashData converts the live store and engine into the plain data the
+// report renderer consumes.
+func dashData(st *series.Store, eng *alert.Engine) report.DashData {
+	d := report.DashData{Title: "wsnq dashboard", RefreshSec: 2}
+	snap := st.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := snap[k]
+		ds := report.DashSeries{Key: k}
+		for _, p := range s.Points {
+			span := float64(p.Span)
+			if span < 1 {
+				span = 1
+			}
+			ds.Rounds = append(ds.Rounds, float64(p.Round))
+			ds.Frames = append(ds.Frames, p.FramesPerRound())
+			ds.Joules = append(ds.Joules, p.JoulesPerRound())
+			ds.RankError = append(ds.RankError, float64(p.RankError))
+			ds.Refines = append(ds.Refines, float64(p.Refines)/span)
+			ds.Validation = append(ds.Validation, float64(p.ValidationBits)/span)
+			ds.Refinement = append(ds.Refinement, float64(p.RefinementBits)/span)
+			ds.Shipping = append(ds.Shipping, float64(p.ShippingBits)/span)
+			ds.Other = append(ds.Other, float64(p.OtherBits)/span)
+		}
+		d.Series = append(d.Series, ds)
+	}
+	if eng != nil {
+		for _, s := range eng.States() {
+			d.Alerts = append(d.Alerts, report.DashAlert{
+				Rule: s.Rule, Key: s.Key, Level: s.Level.String(),
+				Value: s.Value, Since: s.Since,
+			})
+		}
+		log := eng.Log()
+		if len(log) > dashboardEvents {
+			log = log[len(log)-dashboardEvents:]
+		}
+		for _, ev := range log {
+			d.Events = append(d.Events, ev.Message)
+		}
+	}
+	return d
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -65,12 +170,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler on
 // it until ctx is cancelled. It returns the bound address — useful with
 // port 0 — without blocking; the server runs in the background.
-func Serve(ctx context.Context, addr string, reg *Registry, an *Analyzer) (string, error) {
+func Serve(ctx context.Context, addr string, reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, an)}
+	srv := &http.Server{Handler: Handler(reg, an, st, eng)}
 	go srv.Serve(ln)
 	go func() {
 		<-ctx.Done()

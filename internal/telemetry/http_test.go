@@ -8,14 +8,42 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"wsnq/internal/alert"
+	"wsnq/internal/series"
+	"wsnq/internal/trace"
 )
+
+// observability builds a tiny populated series store and alert engine
+// so the /series, /alerts, and /dashboard endpoints have live data.
+func observability(t *testing.T) (*series.Store, *alert.Engine) {
+	t.Helper()
+	rules, err := alert.ParseRules("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := alert.NewEngine(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := series.New(0)
+	c := st.Ingest("IQ", eng.Observe)
+	for r := 0; r < 3; r++ {
+		c.Collect(trace.Event{Kind: trace.KindRoundStart, Round: r, Node: -1})
+		c.Collect(trace.Event{Kind: trace.KindRefine, Round: r, Node: -1})
+		c.Collect(trace.Event{Kind: trace.KindRefine, Round: r, Node: -1})
+		c.Collect(trace.Event{Kind: trace.KindRoundEnd, Round: r, Node: -1})
+	}
+	return st, eng
+}
 
 func TestHandlerEndpoints(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("engine.jobs_done").Add(7)
 	an := NewAnalyzer(30e-3)
 	feed(an)
-	srv := httptest.NewServer(Handler(reg, an))
+	st, eng := observability(t)
+	srv := httptest.NewServer(Handler(reg, an, st, eng))
 	defer srv.Close()
 
 	get := func(path string) (int, []byte) {
@@ -53,6 +81,41 @@ func TestHandlerEndpoints(t *testing.T) {
 		t.Errorf("/health nodes/rounds = %d/%d, want 3/3", rep.Nodes, rep.Rounds)
 	}
 
+	code, body = get("/series")
+	if code != http.StatusOK {
+		t.Fatalf("/series status = %d", code)
+	}
+	var snapshots map[string]series.Snapshot
+	if err := json.Unmarshal(body, &snapshots); err != nil {
+		t.Fatalf("/series not JSON: %v", err)
+	}
+	if got := snapshots["IQ"].Rounds; got != 3 {
+		t.Errorf("/series rounds = %d, want 3", got)
+	}
+
+	code, body = get("/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("/alerts status = %d", code)
+	}
+	var av AlertsView
+	if err := json.Unmarshal(body, &av); err != nil {
+		t.Fatalf("/alerts not JSON: %v", err)
+	}
+	if len(av.States) != 1 || av.States[0].Level != alert.Warn {
+		t.Errorf("/alerts states = %+v, want one standing warn", av.States)
+	}
+
+	code, body = get("/dashboard")
+	if code != http.StatusOK {
+		t.Fatalf("/dashboard status = %d", code)
+	}
+	html := string(body)
+	for _, want := range []string{"<svg", "storm", "IQ", "warn"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("/dashboard missing %q", want)
+		}
+	}
+
 	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/ status = %d", code)
 	}
@@ -70,9 +133,9 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilComponents(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/health"} {
+	for _, path := range []string{"/metrics", "/health", "/series", "/alerts", "/dashboard"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
@@ -87,7 +150,7 @@ func TestHandlerNilComponents(t *testing.T) {
 func TestServeLifecycle(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := NewRegistry()
-	addr, err := Serve(ctx, "127.0.0.1:0", reg, nil)
+	addr, err := Serve(ctx, "127.0.0.1:0", reg, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -147,6 +147,7 @@ type Event struct {
 	Joules float64 `json:"joules,omitempty"` // energy debit
 	Value  int     `json:"value,omitempty"`  // decision answer / interval low
 	Aux    int     `json:"aux,omitempty"`    // rank k / interval high / energy op
+	Err    int     `json:"err,omitempty"`    // decision absolute rank error
 }
 
 // Collector consumes the event stream. Implementations are invoked

@@ -1,0 +1,220 @@
+package wsnq
+
+import (
+	"fmt"
+	"strings"
+
+	"wsnq/internal/alert"
+	"wsnq/internal/energy"
+	"wsnq/internal/experiment"
+	"wsnq/internal/series"
+)
+
+// This file is the public face of the streaming-observability layer:
+// per-round time series (internal/series) and the alert rule engine
+// (internal/alert), attachable to any study via WithSeries and
+// WithAlertRules, to a Simulation via (*Series).Collector, and to the
+// telemetry HTTP surface via Telemetry.AttachSeries/AttachAlerts.
+
+// SeriesPoint is one per-round (or, after downsampling, per-span)
+// sample of a study's time series: frames, messages, joules, the
+// decision's absolute rank error, refinement requests, the per-phase
+// wire-bit anatomy, and the hottest node's cumulative drain.
+type SeriesPoint = series.Point
+
+// SeriesSnapshot is the exported state of one series key: the sampling
+// stride (rounds per point), total rounds ingested, and the points.
+type SeriesSnapshot = series.Snapshot
+
+// SeriesWindowStats summarizes a sliding window of series points:
+// mean, max, and nearest-rank p95.
+type SeriesWindowStats = series.WindowStats
+
+// Series records a bounded per-round time series for every algorithm
+// of a study (keyed "algorithm" or "cell/algorithm" inside sweeps).
+// Memory stays fixed: past the capacity, adjacent points merge and the
+// sampling stride doubles. Safe for concurrent reads while a study
+// runs.
+type Series struct {
+	store *series.Store
+}
+
+// NewSeries returns an empty time-series store with the default
+// per-key capacity (512 points).
+func NewSeries() *Series {
+	return &Series{store: series.New(0)}
+}
+
+// Keys returns the recorded series keys in sorted order.
+func (s *Series) Keys() []string { return s.store.Keys() }
+
+// Points returns a copy of key's recorded points, oldest first.
+func (s *Series) Points(key string) []SeriesPoint { return s.store.Points(key) }
+
+// Snapshot exports every key's series.
+func (s *Series) Snapshot() map[string]SeriesSnapshot { return s.store.Snapshot() }
+
+// Window summarizes f over the newest lastN points of key (lastN <= 0
+// means all); pass the span-normalized SeriesPoint accessors
+// (JoulesPerRound et al.) when a per-round rate is wanted.
+func (s *Series) Window(key string, lastN int, f func(SeriesPoint) float64) SeriesWindowStats {
+	return s.store.Window(key, lastN, f)
+}
+
+// Collector exposes the series store as a trace collector for one
+// event stream, outside the Option path (Simulation.SetTrace,
+// FigureOptions.Trace): every completed round appends one point under
+// key. When a is non-nil each raw point also streams through its alert
+// rules. Use one Collector per stream.
+func (s *Series) Collector(key string, a *Alerts) TraceCollector {
+	var sinks []series.Sink
+	if a != nil {
+		a.eng.StartRun(key)
+		sinks = append(sinks, a.eng.Observe)
+	}
+	return s.store.Ingest(key, sinks...)
+}
+
+// SeriesCollector is the sampling fast path of (*Series).Collector for
+// a live simulation: instead of counting every trace event, the
+// returned collector samples sim's cumulative traffic and energy
+// counters once per round and records the difference, shrinking the
+// per-event overhead on the traced hot path to a single dispatch.
+// Records the same points as (*Series).Collector; prefer it whenever
+// the stream comes from sim itself rather than a replayed recording.
+// Pass it to sim.SetTrace (wrap with MultiCollector to combine with
+// other collectors) and call sim.FinishTrace after the last Step.
+func (sim *Simulation) SeriesCollector(ser *Series, key string, a *Alerts) TraceCollector {
+	var sinks []series.Sink
+	if a != nil {
+		a.eng.StartRun(key)
+		sinks = append(sinks, a.eng.Observe)
+	}
+	return ser.store.IngestTotals(key, experiment.SeriesSampler(sim.rt), sinks...)
+}
+
+// WithSeries attaches a time-series recorder to the study. Like
+// WithTrace it forces strictly sequential execution in deterministic
+// grid order, so each key's rounds append reproducibly. A nil s is
+// ignored.
+func WithSeries(s *Series) Option {
+	return func(o *engineOptions) {
+		if s == nil {
+			return
+		}
+		o.exp.Series = s.store
+	}
+}
+
+// AlertLevel is an alert severity; ordering is meaningful
+// (AlertOK < AlertWarn < AlertCrit).
+type AlertLevel = alert.Level
+
+// Alert severities.
+const (
+	AlertOK   = alert.OK
+	AlertWarn = alert.Warn
+	AlertCrit = alert.Crit
+)
+
+// AlertRule is one declarative streaming rule: a windowed aggregate of
+// a series metric compared against warn/crit thresholds.
+type AlertRule = alert.Rule
+
+// AlertEvent is one alert-log entry: a rule × key level transition
+// (or throttled re-fire) with the offending aggregate value.
+type AlertEvent = alert.Event
+
+// AlertState is the standing level of one rule × key pair.
+type AlertState = alert.State
+
+// AlertLog is the chronological alert history of a study.
+type AlertLog []AlertEvent
+
+// String renders the log one message per line.
+func (l AlertLog) String() string {
+	var b strings.Builder
+	for _, ev := range l {
+		b.WriteString(ev.Message)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Alerts is a streaming alert engine evaluating declarative rules as
+// study rounds complete, producing deduplicated OK→WARN→CRIT level
+// transitions. Build it from the rule grammar (see ParseAlertRules for
+// the syntax and the built-in presets) and attach it with
+// WithAlertRules; read the outcome via Log and States at any time,
+// including while the study runs.
+type Alerts struct {
+	eng *alert.Engine
+}
+
+// NewAlerts builds an alert engine from a semicolon-separated rule
+// spec, e.g. "storm; joules:mean(16)>2e-4" — see ParseAlertRules.
+// Burn-rate (lifetime) rules project against the study's configured
+// energy budget; the default is DefaultConfig's.
+func NewAlerts(rules string) (*Alerts, error) {
+	rs, err := alert.ParseRules(rules)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("wsnq: empty alert rule spec")
+	}
+	eng, err := alert.NewEngine(rs...)
+	if err != nil {
+		return nil, err
+	}
+	eng.DefaultBudget(energy.DefaultParams().InitialBudget)
+	return &Alerts{eng: eng}, nil
+}
+
+// ParseAlertRules parses a semicolon-separated alert rule list without
+// building an engine — useful for validating a -alert flag. The
+// grammar (whitespace-free around tokens; DESIGN.md §4e):
+//
+//	rule   = preset | [ name "=" ] expr
+//	expr   = metric [ ":" agg "(" window ")" ] cmp warn [ "," crit ]
+//	metric = frames | messages | joules | bits | validation_bits |
+//	         refinement_bits | shipping_bits | other_bits |
+//	         rank_error | refines | hot_joules | lifetime
+//	agg    = last | mean | max | min | sum | p95 | rate | nz
+//	cmp    = ">" | ">=" | "<" | "<="
+//	preset = storm | burnrate | excursion
+func ParseAlertRules(spec string) ([]AlertRule, error) {
+	return alert.ParseRules(spec)
+}
+
+// Rules returns the engine's rule set.
+func (a *Alerts) Rules() []AlertRule { return a.eng.Rules() }
+
+// Log returns the alert history so far, oldest first.
+func (a *Alerts) Log() AlertLog { return AlertLog(a.eng.Log()) }
+
+// States returns the standing level of every rule × key pair.
+func (a *Alerts) States() []AlertState { return a.eng.States() }
+
+// SetBudget overrides the per-node energy budget (joules) burn-rate
+// rules project against.
+func (a *Alerts) SetBudget(joules float64) { a.eng.SetBudget(joules) }
+
+// SetThrottle re-fires a standing warn/crit level every n rounds in
+// addition to the transition events (0, the default, logs transitions
+// only).
+func (a *Alerts) SetThrottle(n int) { a.eng.SetThrottle(n) }
+
+// WithAlertRules streams every round of the study through the alert
+// engine. Like WithTrace it forces strictly sequential execution in
+// deterministic grid order, making the alert log reproducible for a
+// fixed seed. Combine with WithSeries to also retain the series the
+// rules saw. A nil a is ignored.
+func WithAlertRules(a *Alerts) Option {
+	return func(o *engineOptions) {
+		if a == nil {
+			return
+		}
+		o.exp.Alerts = a.eng
+	}
+}

@@ -59,6 +59,13 @@ func NewSimulation(cfg Config, alg Algorithm) (*Simulation, error) {
 // debits, and the decision recorded by each Step.
 func (s *Simulation) SetTrace(c TraceCollector) { s.rt.SetTrace(c) }
 
+// FinishTrace closes the event stream after the last Step: it emits
+// the final round's end-of-round event, which otherwise only fires
+// when the next round begins. Call it once when done stepping so
+// per-round collectors (series ingestion via (*Series).Collector, the
+// invariant oracle) see the closing round; a no-op without a collector.
+func (s *Simulation) FinishTrace() { s.rt.EndTrace() }
+
 // K returns the queried rank.
 func (s *Simulation) K() int { return s.k }
 

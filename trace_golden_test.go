@@ -19,7 +19,7 @@ import (
 	"wsnq"
 )
 
-const goldenTraceDigest = "a376a5ac254d6cdab1998f462806cb2652e769cde1276c9a5dff436a3ed6f4eb"
+const goldenTraceDigest = "0ce99540536f85b6acefa4a7f66f37892b5681025c00b8550df147ec69276ea2"
 
 func goldenConfig() wsnq.Config {
 	cfg := wsnq.DefaultConfig()

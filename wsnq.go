@@ -41,7 +41,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
+	"wsnq/internal/alert"
 	"wsnq/internal/baseline"
 	"wsnq/internal/core"
 	"wsnq/internal/data"
@@ -49,6 +51,7 @@ import (
 	"wsnq/internal/experiment"
 	"wsnq/internal/msg"
 	"wsnq/internal/protocol"
+	"wsnq/internal/series"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 )
@@ -420,6 +423,10 @@ func MultiCollector(cs ...TraceCollector) TraceCollector {
 type Telemetry struct {
 	reg *telemetry.Registry
 	an  *telemetry.Analyzer
+
+	mu  sync.Mutex
+	st  *series.Store
+	eng *alert.Engine
 }
 
 // NewTelemetry returns an empty telemetry sink. Lifetime projections
@@ -454,14 +461,52 @@ func (t *Telemetry) Health() HealthReport { return t.an.Report() }
 // collectors such as NewTraceJSONL.
 func (t *Telemetry) Collector() TraceCollector { return t.an }
 
+// AttachSeries adds a per-round time-series store to the HTTP surface:
+// /series starts serving its snapshot and /dashboard renders it live.
+// A nil s detaches.
+func (t *Telemetry) AttachSeries(s *Series) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s == nil {
+		t.st = nil
+		return
+	}
+	t.st = s.store
+}
+
+// AttachAlerts adds an alert engine to the HTTP surface: /alerts starts
+// serving its states and log, and /dashboard shows live alert levels.
+// A nil a detaches.
+func (t *Telemetry) AttachAlerts(a *Alerts) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a == nil {
+		t.eng = nil
+		return
+	}
+	t.eng = a.eng
+}
+
+func (t *Telemetry) attached() (*series.Store, *alert.Engine) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st, t.eng
+}
+
 // Handler returns the HTTP exposition surface: /metrics (registry
-// snapshot), /health (health report), and /debug/pprof.
-func (t *Telemetry) Handler() http.Handler { return telemetry.Handler(t.reg, t.an) }
+// snapshot), /health (health report), /series and /alerts (when
+// attached — see AttachSeries/AttachAlerts), /dashboard, and
+// /debug/pprof.
+func (t *Telemetry) Handler() http.Handler {
+	st, eng := t.attached()
+	return telemetry.Handler(t.reg, t.an, st, eng)
+}
 
 // Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler in
 // the background until ctx is cancelled, returning the bound address.
 func (t *Telemetry) Serve(ctx context.Context, addr string) (string, error) {
-	return telemetry.Serve(ctx, addr, t.reg, t.an)
+	st, eng := t.attached()
+	return telemetry.Serve(ctx, addr, t.reg, t.an, st, eng)
 }
 
 // WithTelemetry attaches a live telemetry sink to the study. The engine
