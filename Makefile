@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard
+.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard chaos
 
 # help lists the targets; keep the `##` summaries next to the targets
 # they describe.
@@ -9,12 +9,13 @@ help:
 	@echo "wsnq targets:"
 	@echo "  build       compile every package and tool"
 	@echo "  test        run the full test suite"
-	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + fuzz-smoke"
+	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + chaos + fuzz-smoke"
 	@echo "  vet         static analysis"
 	@echo "  race        full suite under the race detector"
 	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
 	@echo "  telemetry   registry race test and snapshot-determinism test under -race"
 	@echo "  alert       series ring race-hammer and alert rule-engine determinism"
+	@echo "  chaos       seeded crash+burst fault smoke of HBC and IQ under -race"
 	@echo "  fuzz-smoke  short fresh-input budget for every fuzz target"
 	@echo "  trace-guard disabled-tracer overhead vs the 2% budget (idle machine)"
 	@echo "  series-guard series-ingest overhead vs the 2% budget (idle machine)"
@@ -54,6 +55,14 @@ alert:
 	$(GO) test -race -run '^TestSeriesRingRace$$' -v ./internal/series/
 	$(GO) test -run '^TestRuleEngineDeterminism$$' -v ./internal/alert/
 
+# chaos is the robustness gate: the seeded crash+burst smoke of HBC
+# and IQ through the engine, the public API, the oracle's fault mode,
+# and the pinned golden recovery study — all under the race detector.
+chaos:
+	$(GO) test -race -run '^(TestEngineUnderFaults|TestEngineFaultDeterminism|TestEngineFaultPartition)$$' -v ./internal/experiment/
+	$(GO) test -race -run '^TestDifferentialUnderFaults$$' -v ./internal/trace/oracle/
+	$(GO) test -race -run '^(TestRunWithFaults|TestSimulationSetFaults|TestGoldenRecoveryStudy)$$' -v .
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on
 # top of the committed corpus (go test -fuzz accepts one target at a
 # time, hence one invocation per target).
@@ -62,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzReassembleRobust$$' -fuzztime $(FUZZTIME) ./internal/msg/
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogramCodec$$' -fuzztime $(FUZZTIME) ./internal/protocol/
 	$(GO) test -run '^$$' -fuzz '^FuzzBucketsIndex$$' -fuzztime $(FUZZTIME) ./internal/protocol/
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/fault/
 
 # trace-guard measures the disabled flight recorder against the
 # pre-instrumentation hot path and fails beyond the 2% budget. Timing
@@ -78,8 +88,8 @@ series-guard:
 # check is the gate every change must pass: static analysis, the full
 # suite under the race detector (the parallel engine makes this the
 # interesting configuration), the oracle suite, the telemetry gate, the
-# observability gate, and a fuzz smoke run.
-check: vet race oracle telemetry alert fuzz-smoke
+# observability gate, the chaos gate, and a fuzz smoke run.
+check: vet race oracle telemetry alert chaos fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem .

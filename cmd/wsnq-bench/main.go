@@ -47,6 +47,7 @@ func main() {
 		traceFile = flag.String("trace", "", "write the flight-recorder event stream of every run to FILE as JSON Lines (forces sequential runs)")
 		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof; forces sequential runs)")
 		alertSpec = flag.String("alert", "", cli.AlertRulesUsage+" (forces sequential runs)")
+		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
 		jsonBench = flag.Bool("json", false, "continuous-benchmarking mode: measure the tracked hot paths and write a BENCH_<date>.json")
 		jsonOut   = flag.String("out", "", "with -json: output file (default BENCH_<today>.json)")
 	)
@@ -114,6 +115,14 @@ func main() {
 			os.Exit(1)
 		}
 		opts.Alerts = alerts
+	}
+	if *faultSpec != "" {
+		plan, err := wsnq.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
+			os.Exit(1)
+		}
+		opts.Faults = plan
 	}
 	if *alertSpec != "" || *httpAddr != "" {
 		opts.Series = wsnq.NewSeries()

@@ -48,6 +48,7 @@ func main() {
 		traceFile = flag.String("trace", "", "write the flight-recorder event stream to FILE as JSON Lines (forces sequential runs)")
 		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof; forces sequential runs)")
 		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
+		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
 	)
 	flag.Parse()
 
@@ -95,6 +96,15 @@ func main() {
 				fmt.Fprintln(os.Stderr)
 			}
 		}))
+	}
+	var plan *wsnq.FaultPlan
+	if *faultSpec != "" {
+		var err error
+		if plan, err = wsnq.ParseFaultPlan(*faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, wsnq.WithFaults(plan))
 	}
 	var alerts *wsnq.Alerts
 	if *alertSpec != "" {
@@ -157,6 +167,10 @@ func main() {
 		fmt.Printf("%-8s %14.1f %12.0f %14.1f %12.1f %9d/%d %10.2f\n",
 			r.Algorithm, m.MaxNodeEnergyPerRound*1e6, m.LifetimeRounds,
 			m.ValuesPerRound, m.FramesPerRound, m.ExactRounds, m.Rounds, m.MeanRankError)
+		if plan != nil {
+			fmt.Printf("         faults: %d/%d degraded rounds  %d repairs  %.2f retries/round  %d reinits\n",
+				m.DegradedRounds, m.Rounds, m.Repairs, m.RetriesPerRound, m.Reinits)
+		}
 		if *anatomy {
 			printAnatomy(m)
 		}

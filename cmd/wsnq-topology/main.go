@@ -23,8 +23,10 @@ import (
 	"wsnq/internal/baseline"
 	"wsnq/internal/cli"
 	"wsnq/internal/experiment"
+	"wsnq/internal/fault"
 	"wsnq/internal/report"
 	"wsnq/internal/series"
+	"wsnq/internal/sim"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 	"wsnq/internal/wsn"
@@ -43,6 +45,7 @@ func main() {
 		traceFile  = flag.String("trace", "", "record one TAG collection round on this deployment to FILE as JSON Lines")
 		httpAddr   = flag.String("http", "", "serve the probe round's telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof)")
 		alertSpec  = flag.String("alert", "", cli.AlertRulesUsage)
+		faultSpec  = flag.String("fault", "", cli.FaultPlanUsage)
 	)
 	flag.Parse()
 
@@ -113,8 +116,15 @@ func main() {
 		}
 		collectors = append(collectors, an)
 	}
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		if plan, err = fault.Parse(*faultSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
+			os.Exit(1)
+		}
+	}
 	if len(collectors) > 0 {
-		if err := traceProbe(cfg, trace.Multi(collectors...)); err != nil {
+		if err := traceProbe(cfg, plan, trace.Multi(collectors...)); err != nil {
 			fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
 			os.Exit(1)
 		}
@@ -195,13 +205,19 @@ func build(cfg experiment.Config) (*wsn.Topology, error) {
 // traceProbe records one TAG collection round (a full leaves-to-root
 // convergecast of every reading) on run 0's deployment, so the event
 // stream shows exactly which hops carry how much traffic on the
-// inspected tree.
-func traceProbe(cfg experiment.Config, c trace.Collector) error {
+// inspected tree. A -fault plan is injected into the probe round with
+// the default ARQ recovery, showing where retries and crashes land.
+func traceProbe(cfg experiment.Config, plan *fault.Plan, c trace.Collector) error {
 	rt, err := experiment.BuildRuntime(cfg, 0)
 	if err != nil {
 		return err
 	}
 	rt.SetTrace(c)
+	if plan != nil {
+		if err := rt.SetFaults(plan, cfg.Seed^0xFA07, sim.DefaultARQ()); err != nil {
+			return err
+		}
+	}
 	k := cfg.K()
 	q, err := baseline.NewTAG().Init(rt, k)
 	if err != nil {

@@ -32,6 +32,7 @@ func main() {
 		events    = flag.String("events", "", "also write the flight-recorder event stream to FILE as JSON Lines")
 		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof)")
 		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
+		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
 	)
 	flag.Parse()
 
@@ -49,6 +50,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
 		os.Exit(1)
+	}
+	if *faultSpec != "" {
+		plan, err := wsnq.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
+			os.Exit(1)
+		}
+		if err := s.SetFaults(plan); err != nil {
+			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
+			os.Exit(1)
+		}
 	}
 
 	// The JSONL writer and the telemetry analyzer share the one trace
@@ -103,7 +115,11 @@ func main() {
 	}
 
 	if *format == "csv" {
-		fmt.Println("round,quantile,xi_lo,xi_hi,min,max,refined")
+		if *faultSpec != "" {
+			fmt.Println("round,quantile,xi_lo,xi_hi,min,max,refined,degraded,staleness")
+		} else {
+			fmt.Println("round,quantile,xi_lo,xi_hi,min,max,refined")
+		}
 	}
 	prevConv := 0
 	for t := 0; t < *rounds; t++ {
@@ -134,8 +150,13 @@ func main() {
 
 		switch *format {
 		case "csv":
-			fmt.Printf("%d,%d,%d,%d,%d,%d,%v\n",
-				res.Round, res.Quantile, filter+xiL, filter+xiR, lo, hi, refined)
+			if *faultSpec != "" {
+				fmt.Printf("%d,%d,%d,%d,%d,%d,%v,%v,%d\n",
+					res.Round, res.Quantile, filter+xiL, filter+xiR, lo, hi, refined, res.Degraded, res.Staleness)
+			} else {
+				fmt.Printf("%d,%d,%d,%d,%d,%d,%v\n",
+					res.Round, res.Quantile, filter+xiL, filter+xiR, lo, hi, refined)
+			}
 		default:
 			const width = 64
 			span := hi - lo + 1
@@ -160,6 +181,9 @@ func main() {
 			marker := " "
 			if refined {
 				marker = "R"
+			}
+			if res.Degraded {
+				marker = "D" // answering with incomplete coverage
 			}
 			fmt.Printf("%4d %s|%s| q=%d Ξ=[%d,%d]\n",
 				res.Round, marker, line, res.Quantile, filter+xiL, filter+xiR)

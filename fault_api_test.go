@@ -1,0 +1,116 @@
+package wsnq_test
+
+import (
+	"strings"
+	"testing"
+
+	"wsnq"
+)
+
+// chaosConfig is a small connected cell for the fault-API tests.
+func chaosConfig() wsnq.Config {
+	cfg := wsnq.DefaultConfig()
+	cfg.Nodes = 60
+	cfg.RadioRange = 45
+	cfg.Rounds = 24
+	cfg.Runs = 2
+	cfg.Seed = 7
+	cfg.Dataset.Universe = 1 << 12
+	return cfg
+}
+
+func TestParseFaultPlanRoundTrip(t *testing.T) {
+	spec := "crash@6-12:n3; burst(p=0.3,len=4):link; partition@20-21"
+	p, err := wsnq.ParseFaultPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := wsnq.ParseFaultPlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if p.String() != again.String() {
+		t.Errorf("format not stable: %q vs %q", p.String(), again.String())
+	}
+	if _, err := wsnq.ParseFaultPlan("crash@oops"); err == nil {
+		t.Error("malformed plan accepted")
+	}
+}
+
+// TestRunWithFaults exercises the public study path under a fault plan:
+// the run must complete, report the crash window as degraded rounds,
+// and stay deterministic across parallelism settings.
+func TestRunWithFaults(t *testing.T) {
+	cfg := chaosConfig()
+	plan, err := wsnq.ParseFaultPlan("crash@6-12:n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wsnq.Run(cfg, wsnq.IQ, wsnq.WithFaults(plan), wsnq.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The window [6,12) keeps node 3 down for rounds 6..11 of each run.
+	if m.DegradedRounds < 6*cfg.Runs {
+		t.Errorf("crash window [6,12) gave %d degraded rounds, want >= %d", m.DegradedRounds, 6*cfg.Runs)
+	}
+	par, err := wsnq.Run(cfg, wsnq.IQ, wsnq.WithFaults(plan), wsnq.WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.DegradedRounds != m.DegradedRounds || par.Repairs != m.Repairs ||
+		par.RetriesPerRound != m.RetriesPerRound || par.Reinits != m.Reinits {
+		t.Errorf("fault metrics depend on parallelism:\nseq %+v\npar %+v", m, par)
+	}
+}
+
+// TestSimulationSetFaults drives the round-by-round surface through a
+// crash and recovery: degraded status must appear exactly while
+// coverage is missing and clear after repair/recovery.
+func TestSimulationSetFaults(t *testing.T) {
+	cfg := chaosConfig()
+	cfg.Runs = 1
+	s, err := wsnq.NewSimulation(cfg, wsnq.IQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := wsnq.ParseFaultPlan("crash@5-9:n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetFaults(plan); err == nil || !strings.Contains(err.Error(), "already") {
+		t.Errorf("double attach: err = %v, want 'already attached'", err)
+	}
+	var sawDegraded, sawReinit bool
+	for r := 0; r < cfg.Rounds; r++ {
+		res, err := s.Step()
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if res.Degraded {
+			sawDegraded = true
+			if r < 5 {
+				t.Errorf("round %d degraded before the crash window", r)
+			}
+			if res.Staleness == 0 {
+				t.Errorf("round %d degraded with zero staleness", r)
+			}
+		}
+		if res.Reinit {
+			sawReinit = true
+		}
+		if r == cfg.Rounds-1 && res.Degraded {
+			t.Error("still degraded at the end — recovery never completed")
+		}
+	}
+	s.FinishTrace()
+	if !sawDegraded {
+		t.Error("crash window produced no degraded rounds")
+	}
+	if !sawReinit {
+		t.Error("recovery produced no re-initialization")
+	}
+}

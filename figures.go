@@ -83,10 +83,17 @@ type FigureOptions struct {
 	// the alert rule engine, as in WithAlertRules (forces sequential
 	// execution).
 	Alerts *Alerts
+	// Faults, when non-nil, attaches the fault plan to every simulation
+	// run of the figure, as in WithFaults: scheduled crashes, bursty
+	// links, and partitions with the default ARQ recovery.
+	Faults *FaultPlan
 }
 
 func (o *FigureOptions) engine() experiment.Options {
 	opts := experiment.Options{Parallelism: o.Parallelism, Progress: o.Progress}
+	if o.Faults != nil {
+		opts.Faults = o.Faults.plan
+	}
 	if o.Series != nil {
 		opts.Series = o.Series.store
 	}

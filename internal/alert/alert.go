@@ -91,6 +91,8 @@ var metrics = map[string]func(series.Point) float64{
 	"other_bits":      func(p series.Point) float64 { return float64(p.OtherBits) },
 	"rank_error":      func(p series.Point) float64 { return float64(p.RankError) },
 	"refines":         func(p series.Point) float64 { return float64(p.Refines) },
+	"retries":         func(p series.Point) float64 { return float64(p.Retries) },
+	"orphans":         func(p series.Point) float64 { return float64(p.Orphans) },
 	"hot_joules":      func(p series.Point) float64 { return p.HotJoules },
 }
 

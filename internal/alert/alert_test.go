@@ -110,6 +110,69 @@ func TestLevelTransitions(t *testing.T) {
 	// not have fired (checked implicitly by the exact log length above).
 }
 
+// TestOrphanPresetTransitions drives the orphan preset through a fault
+// window: the first round decided with alive-but-orphaned nodes warns,
+// a sustained repair backlog escalates to crit, and the level walks
+// back down to OK as repaired rounds refill the window.
+func TestOrphanPresetTransitions(t *testing.T) {
+	r, ok := preset("orphan")
+	if !ok {
+		t.Fatal("orphan preset missing")
+	}
+	e, err := NewEngine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Six consecutive degraded rounds (2..7), then full repair.
+	orphans := []int{0, 0, 3, 3, 3, 3, 3, 3, 0, 0, 0, 0, 0, 0, 0, 0}
+	wantLevels := []Level{OK, OK, Warn, Warn, Warn, Warn, Warn, Crit,
+		Crit, Crit, Warn, Warn, Warn, Warn, Warn, OK}
+	for i, o := range orphans {
+		e.Observe("IQ", series.Point{Round: i, Span: 1, Orphans: o})
+		st := e.States()
+		if len(st) != 1 {
+			t.Fatalf("round %d: %d states, want 1", i, len(st))
+		}
+		if st[0].Level != wantLevels[i] {
+			t.Errorf("round %d (orphans %d): level %v, want %v", i, o, st[0].Level, wantLevels[i])
+		}
+	}
+	want := []struct {
+		round      int
+		prev, next Level
+	}{
+		{2, OK, Warn}, {7, Warn, Crit}, {10, Crit, Warn}, {15, Warn, OK},
+	}
+	log := e.Log()
+	if len(log) != len(want) {
+		t.Fatalf("log has %d events, want %d: %+v", len(log), len(want), log)
+	}
+	for i, w := range want {
+		ev := log[i]
+		if ev.Round != w.round || ev.Prev != w.prev || ev.Level != w.next {
+			t.Errorf("event %d: round %d %v→%v, want round %d %v→%v",
+				i, ev.Round, ev.Prev, ev.Level, w.round, w.prev, w.next)
+		}
+	}
+}
+
+// TestRetriesMetric checks the retries metric feeds windowed
+// aggregates like any traffic counter.
+func TestRetriesMetric(t *testing.T) {
+	r := Rule{Name: "arq", Metric: "retries", Agg: "sum", Window: 4, Cmp: ">=", Warn: 5}
+	e, err := NewEngine(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []int{1, 1, 1, 1, 3} {
+		e.Observe("k", series.Point{Round: i, Span: 1, Retries: n})
+	}
+	st := e.States()
+	if len(st) != 1 || st[0].Level != Warn || st[0].Value != 6 {
+		t.Errorf("states = %+v, want one Warn at sum 6", st)
+	}
+}
+
 // TestKeysAreIndependent checks one rule tracks separate levels per
 // series key.
 func TestKeysAreIndependent(t *testing.T) {

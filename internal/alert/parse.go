@@ -13,10 +13,11 @@ import (
 //	expr    = metric [ ":" agg "(" window ")" ] cmp warn [ "," crit ]
 //	metric  = frames | messages | joules | bits | validation_bits |
 //	          refinement_bits | shipping_bits | other_bits |
-//	          rank_error | refines | hot_joules | lifetime
+//	          rank_error | refines | retries | orphans |
+//	          hot_joules | lifetime
 //	agg     = last | mean | max | min | sum | p95 | rate | nz
 //	cmp     = ">" | ">=" | "<" | "<="
-//	preset  = storm | burnrate | excursion
+//	preset  = storm | burnrate | excursion | orphan
 //
 // Omitting the aggregate defaults to last(1) — compare every round's
 // raw value. "rate" is the per-round rate of change across the window;
@@ -37,11 +38,16 @@ import (
 //	excursion — quantile-error excursion: ≥4 of the last 16 rounds
 //	            decided with a non-zero rank error warns, ≥8 is
 //	            critical.
+//	orphan    — unrepaired routing damage: any round of the last 8
+//	            decided with alive-but-orphaned nodes warns; ≥6 such
+//	            rounds (the repair machinery is not keeping up, e.g.
+//	            a standing partition) is critical.
 func Presets() []Rule {
 	return []Rule{
 		{Name: "storm", Metric: "refines", Agg: "max", Window: 8, Cmp: ">=", Warn: 2, Crit: 4, HasCrit: true},
 		{Name: "burnrate", Metric: metricLifetime, Agg: "rate", Window: 32, Cmp: "<", Warn: 4000, Crit: 1000, HasCrit: true},
 		{Name: "excursion", Metric: "rank_error", Agg: "nz", Window: 16, Cmp: ">=", Warn: 4, Crit: 8, HasCrit: true},
+		{Name: "orphan", Metric: "orphans", Agg: "nz", Window: 8, Cmp: ">=", Warn: 1, Crit: 6, HasCrit: true},
 	}
 }
 
@@ -104,7 +110,7 @@ func ParseRule(s string) (Rule, error) {
 
 	cmpIdx := strings.IndexAny(expr, "<>")
 	if cmpIdx < 0 {
-		return Rule{}, fmt.Errorf("alert: %q is neither a preset (storm, burnrate, excursion) nor a threshold expression", expr)
+		return Rule{}, fmt.Errorf("alert: %q is neither a preset (storm, burnrate, excursion, orphan) nor a threshold expression", expr)
 	}
 	cmp := expr[cmpIdx : cmpIdx+1]
 	rest := expr[cmpIdx+1:]

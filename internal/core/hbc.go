@@ -151,6 +151,14 @@ func (h *HBC) Step(rt *sim.Runtime) (int, error) {
 	rt.SetPhase(sim.PhaseRefinement)
 	q, flb, fub, st, err := h.descend(rt, lo, hi, base)
 	if err != nil {
+		if rt.CoverageDeficit() > 0 {
+			// The refinement starved behind unreachable subtrees: hold
+			// the last answer as a degraded result (tagged with the
+			// runtime's rank-error bound) instead of failing the round;
+			// the driver's re-initialization replay restores exactness
+			// once the tree heals.
+			return h.q, nil
+		}
 		return 0, err
 	}
 	if h.NoThresholdBroadcast {

@@ -84,7 +84,13 @@ func (q *IQ) Init(rt *sim.Runtime, k int) (int, error) {
 	q.prev = make([]int, q.n)
 	q.snapshotPrev(rt)
 
-	xi := q.seedXi(all[:k])
+	kk := k
+	if kk > len(all) {
+		// Degraded initialization: fewer values than ranks reached the
+		// root (crashed or orphaned subtrees); seed from what arrived.
+		kk = len(all)
+	}
+	xi := q.seedXi(all[:kk])
 	q.xiL, q.xiR = -xi, xi
 	q.hist = []int{q.filter}
 
@@ -185,7 +191,17 @@ func (q *IQ) resolve(rt *sim.Runtime, c *protocol.Counters, a []int, xiLo, xiHi 
 		rt.Broadcast(protocol.Request{NBits: protocol.CountedRequestBits(rt.Sizes())}, nil)
 		r := protocol.CollectExtreme(rt, lo, xiLo-1, f1, true)
 		if len(r) < f1 {
-			return 0, fmt.Errorf("core: IQ refinement got %d of %d values below %d (round %d)", len(r), f1, xiLo, rt.Round())
+			// A shortfall while the round's coverage is incomplete
+			// degrades the answer (the missing order statistics sit in
+			// unreachable subtrees, covered by the reported rank-error
+			// bound); with full coverage it is a desynchronization.
+			if rt.CoverageDeficit() == 0 {
+				return 0, fmt.Errorf("core: IQ refinement got %d of %d values below %d (round %d)", len(r), f1, xiLo, rt.Round())
+			}
+			if len(r) == 0 {
+				return q.filter, nil
+			}
+			f1 = len(r)
 		}
 		v := r[len(r)-f1] // the f1-th largest
 		geq := len(r) - mathx.CountLess(r, v)
@@ -210,7 +226,13 @@ func (q *IQ) resolve(rt *sim.Runtime, c *protocol.Counters, a []int, xiLo, xiHi 
 		rt.Broadcast(protocol.Request{NBits: protocol.CountedRequestBits(rt.Sizes())}, nil)
 		r := protocol.CollectExtreme(rt, xiHi+1, hi, f2, false)
 		if len(r) < f2 {
-			return 0, fmt.Errorf("core: IQ refinement got %d of %d values above %d (round %d)", len(r), f2, xiHi, rt.Round())
+			if rt.CoverageDeficit() == 0 {
+				return 0, fmt.Errorf("core: IQ refinement got %d of %d values above %d (round %d)", len(r), f2, xiHi, rt.Round())
+			}
+			if len(r) == 0 {
+				return q.filter, nil
+			}
+			f2 = len(r)
 		}
 		v := r[f2-1] // the f2-th smallest
 		q.state = legFromBelow(baseUp+nb+mathx.CountLess(r, v), mathx.CountEqual(r, v), n)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wsnq/internal/alert"
+	"wsnq/internal/fault"
 	"wsnq/internal/series"
 	"wsnq/internal/sim"
 	"wsnq/internal/telemetry"
@@ -66,6 +67,19 @@ type Options struct {
 	// Series; when Series is nil a small private store still derives
 	// the points but retains almost nothing.
 	Alerts *alert.Engine
+
+	// Faults, when non-nil, attaches the fault plan (crash schedules,
+	// Gilbert–Elliott bursty links, sink partitions — see
+	// internal/fault) to every simulation run, together with the ARQ
+	// recovery layer. Injector seeds derive from Config.Seed and the
+	// run index alone, so fault timing is reproducible and independent
+	// of scheduling. Faults do not force sequential execution: each
+	// run's runtime owns a private topology clone and injector.
+	Faults *fault.Plan
+
+	// ARQ overrides the link-layer acknowledgement/retransmission
+	// policy used when Faults is set. Nil selects sim.DefaultARQ().
+	ARQ *sim.ARQConfig
 }
 
 // TraceJob identifies one grid job handed to Options.Trace.
@@ -326,8 +340,22 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 				}
 				return trace.Multi(tc, seriesStore.IngestTotals(key, SeriesSampler(rt), sinks...))
 			}
+			var flt *faultRig
+			if opts.Faults != nil {
+				arq := sim.DefaultARQ()
+				if opts.ARQ != nil {
+					arq = *opts.ARQ
+				}
+				// The injector seed mirrors the deployment-seed stride,
+				// displaced so fault timing and placement never correlate.
+				flt = &faultRig{
+					plan: opts.Faults,
+					arq:  arq,
+					seed: (cfg.Seed + int64(j.run)*104729) ^ 0xFA07,
+				}
+			}
 			var m Metrics
-			m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace)
+			m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt)
 			if err == nil {
 				perRun[j.cell][j.alg][j.run] = []Metrics{m}
 				record(algs[j.alg].Name, m, time.Since(jobStart))

@@ -14,6 +14,7 @@ import (
 
 	"wsnq/internal/data"
 	"wsnq/internal/energy"
+	"wsnq/internal/fault"
 	"wsnq/internal/msg"
 	"wsnq/internal/protocol"
 	"wsnq/internal/sim"
@@ -203,6 +204,15 @@ type Metrics struct {
 	Rounds        int     // total measured rounds
 	MeanRankError float64 // mean |rank(answer) − k|
 	Reinits       int     // error-triggered re-initializations
+
+	// Robustness bookkeeping (zero unless Options.Faults attaches a
+	// fault plan): rounds answered in degraded mode (incomplete sensor
+	// coverage), orphaned subtrees re-parented by tree repair, and ARQ
+	// retransmissions per round. Counts are summed over runs, the rate
+	// is averaged.
+	DegradedRounds  int
+	Repairs         int
+	RetriesPerRound float64
 }
 
 // Run executes the cell for one algorithm and averages over cfg.Runs.
@@ -229,6 +239,9 @@ func aggregate(runs []Metrics) Metrics {
 		agg.Rounds += m.Rounds
 		agg.MeanRankError += m.MeanRankError
 		agg.Reinits += m.Reinits
+		agg.DegradedRounds += m.DegradedRounds
+		agg.Repairs += m.Repairs
+		agg.RetriesPerRound += m.RetriesPerRound
 		agg.EnergyGini += m.EnergyGini
 		agg.HotspotToMedianRatio += m.HotspotToMedianRatio
 		for ph, bits := range m.PhaseBitsPerRound {
@@ -246,6 +259,7 @@ func aggregate(runs []Metrics) Metrics {
 	agg.FramesPerRound /= f
 	agg.BitsPerRound /= f
 	agg.MeanRankError /= f
+	agg.RetriesPerRound /= f
 	agg.EnergyGini /= f
 	agg.HotspotToMedianRatio /= f
 	for ph := range agg.PhaseBitsPerRound {
@@ -254,14 +268,25 @@ func aggregate(runs []Metrics) Metrics {
 	return agg
 }
 
+// faultRig carries the engine's fault options, plus the per-run
+// injector seed, into runOn. Nil means no faults.
+type faultRig struct {
+	plan *fault.Plan
+	arq  sim.ARQConfig
+	seed int64
+}
+
 // runOn executes one simulation run of alg on a (possibly shared)
 // deployment. It builds its own runtime, so concurrent calls with the
 // same deployment are safe. mkTrace, when non-nil, is handed the fresh
 // runtime and may return a flight-recorder collector to attach (nil to
 // run untraced) — late binding that lets collectors sample the
 // runtime's live counters (series.Store.IngestTotals); each round's
-// answer is then recorded as a decision event.
-func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*sim.Runtime) trace.Collector) (Metrics, error) {
+// answer is then recorded as a decision event. flt, when non-nil,
+// attaches the fault plan and drives the recovery contract: a pending
+// repair flag or a Step desynchronization replays the protocol's
+// initialization over temporarily reliable links.
+func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*sim.Runtime) trace.Collector, flt *faultRig) (Metrics, error) {
 	rt, err := dep.NewRuntime(cfg)
 	if err != nil {
 		return Metrics{}, err
@@ -269,6 +294,12 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 	if mkTrace != nil {
 		if tc := mkTrace(rt); tc != nil {
 			rt.SetTrace(tc)
+		}
+	}
+	if flt != nil {
+		// After SetTrace, so crash events at attach time are captured.
+		if err := rt.SetFaults(flt.plan, flt.seed, flt.arq); err != nil {
+			return Metrics{}, err
 		}
 	}
 	k := cfg.K()
@@ -285,17 +316,26 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 			m.ExactRounds++
 		}
 		errSum += float64(re)
+		if rt.CoverageDeficit() > 0 {
+			m.DegradedRounds++
+		}
 		if died == 0 && rt.Ledger().Exhausted() {
 			died = m.Rounds
 		}
 	}
 
 	// Initialization is modeled as reliable (acknowledged) transfer;
-	// loss applies to the continuous per-round traffic only.
+	// loss applies to the continuous per-round traffic only. With
+	// faults attached, link-level faults (bursts, partitions — not
+	// crashes) are likewise suspended for the replay.
 	reliableInit := func() (int, error) {
 		if cfg.LossProb > 0 {
 			_ = rt.SetLossProb(0)
 			defer func() { _ = rt.SetLossProb(cfg.LossProb) }()
+		}
+		if flt != nil {
+			rt.SetFaultReliable(true)
+			defer rt.SetFaultReliable(false)
 		}
 		return alg.Init(rt, k)
 	}
@@ -307,12 +347,23 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 	record(q)
 	for t := 1; t < cfg.Rounds; t++ {
 		rt.AdvanceRound()
+		if flt != nil && rt.ConsumeReinit() {
+			// Tree repair (or crash recovery) moved nodes; the protocol
+			// state no longer matches the topology, so the root replays
+			// initialization before stepping on.
+			m.Reinits++
+			if q, err = reliableInit(); err != nil {
+				return Metrics{}, fmt.Errorf("%s repair reinit round %d: %w", alg.Name(), t, err)
+			}
+			record(q)
+			continue
+		}
 		q, err = alg.Step(rt)
 		if err != nil {
-			// Loss can desynchronize a protocol; the root then triggers
-			// a re-initialization, whose cost is accounted like any
-			// other traffic.
-			if cfg.LossProb == 0 {
+			// Loss or faults can desynchronize a protocol; the root then
+			// triggers a re-initialization, whose cost is accounted like
+			// any other traffic.
+			if cfg.LossProb == 0 && flt == nil {
 				return Metrics{}, fmt.Errorf("%s round %d: %w", alg.Name(), t, err)
 			}
 			m.Reinits++
@@ -339,6 +390,8 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 	m.FramesPerRound = float64(st.FramesSent) / rounds
 	m.BitsPerRound = float64(st.BitsSent) / rounds
 	m.MeanRankError = errSum / rounds
+	m.Repairs = rt.Repairs()
+	m.RetriesPerRound = float64(st.Retries) / rounds
 
 	switch {
 	case died > 0:

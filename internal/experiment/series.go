@@ -17,6 +17,7 @@ func SeriesSampler(rt *sim.Runtime) series.Sampler {
 		return series.Totals{
 			Messages:       st.PayloadsSent,
 			Frames:         st.FramesSent,
+			Retries:        st.Retries,
 			ValidationBits: st.PerPhase[sim.PhaseValidation].Bits + st.PerPhase[sim.PhaseFilter].Bits,
 			RefinementBits: st.PerPhase[sim.PhaseRefinement].Bits,
 			ShippingBits:   st.PerPhase[sim.PhaseCollect].Bits + st.PerPhase[sim.PhaseInit].Bits,

@@ -1,0 +1,386 @@
+// Package fault provides deterministic, seeded fault plans for the
+// simulator: per-node crash/recover schedules, Gilbert–Elliott bursty
+// per-link loss, and sink-side partitions. Plans are parsed from a
+// small DSL so the same spec drives the cmd tools, studies, and tests:
+//
+//	plan      = entry *( ";" entry )
+//	entry     = crash | burst | partition
+//	crash     = "crash@" round [ "-" round ] ":n" node
+//	burst     = "burst(p=" float ",len=" float ")" [ ":" target ]
+//	target    = "link" | "n" node
+//	partition = "partition@" round "-" round
+//
+// Rounds are zero-based and ranges are half-open: `crash@120:n17`
+// kills node 17 at round 120 forever, `crash@120-180:n17` recovers it
+// at round 180. `burst(p=0.3,len=8)` attaches a Gilbert–Elliott loss
+// process to every uplink (equivalently `:link`); `:n17` restricts it
+// to node 17's uplink. p is the per-round probability of entering the
+// bad state and len the mean burst length in rounds (exit probability
+// 1/len); a link in the bad state drops all traffic that round.
+// `partition@100-140` takes every sink-adjacent link down for rounds
+// [100, 140).
+//
+// The injector draws from its own seeded stream, advanced in a fixed
+// order, so a plan replays bit-identically for a given seed and is
+// independent of the simulator's payload-loss sampler.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the fault entry types.
+type Kind int
+
+// The fault entry kinds.
+const (
+	Crash Kind = iota
+	Burst
+	Partition
+)
+
+// Entry is one parsed fault-plan entry.
+type Entry struct {
+	Kind Kind
+	// Node is the crash target, or the burst target's uplink owner
+	// (-1 = every link). Unused for partitions.
+	Node int
+	// From and To bound the entry's active rounds [From, To); To < 0
+	// means forever (crash entries only).
+	From, To int
+	// P is the per-round good→bad entry probability and Len the mean
+	// burst length in rounds (burst entries only).
+	P, Len float64
+}
+
+// String renders the entry in canonical DSL form (Parse-able).
+func (e Entry) String() string {
+	switch e.Kind {
+	case Crash:
+		if e.To < 0 {
+			return fmt.Sprintf("crash@%d:n%d", e.From, e.Node)
+		}
+		return fmt.Sprintf("crash@%d-%d:n%d", e.From, e.To, e.Node)
+	case Burst:
+		t := "link"
+		if e.Node >= 0 {
+			t = fmt.Sprintf("n%d", e.Node)
+		}
+		return fmt.Sprintf("burst(p=%s,len=%s):%s",
+			strconv.FormatFloat(e.P, 'g', -1, 64),
+			strconv.FormatFloat(e.Len, 'g', -1, 64), t)
+	case Partition:
+		return fmt.Sprintf("partition@%d-%d", e.From, e.To)
+	}
+	return fmt.Sprintf("fault.Entry(kind=%d)", int(e.Kind))
+}
+
+// Plan is a parsed fault plan: an ordered list of entries.
+type Plan struct {
+	Entries []Entry
+}
+
+// String renders the plan in canonical DSL form; Parse(p.String())
+// reproduces p exactly.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, len(p.Entries))
+	for i, e := range p.Entries {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Empty reports whether the plan has no entries (a nil plan is empty).
+func (p *Plan) Empty() bool { return p == nil || len(p.Entries) == 0 }
+
+// Parse parses the fault-plan DSL (see the package comment for the
+// grammar). Whitespace around entries is tolerated; an empty spec
+// yields an empty plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	for _, raw := range strings.Split(spec, ";") {
+		s := strings.TrimSpace(raw)
+		if s == "" {
+			continue
+		}
+		e, err := parseEntry(s)
+		if err != nil {
+			return nil, err
+		}
+		p.Entries = append(p.Entries, e)
+	}
+	return p, nil
+}
+
+func parseEntry(s string) (Entry, error) {
+	switch {
+	case strings.HasPrefix(s, "crash@"):
+		return parseCrash(s[len("crash@"):])
+	case strings.HasPrefix(s, "burst("):
+		return parseBurst(s[len("burst("):])
+	case strings.HasPrefix(s, "partition@"):
+		return parsePartition(s[len("partition@"):])
+	}
+	return Entry{}, fmt.Errorf("fault: unknown entry %q (want crash@…, burst(…), or partition@…)", s)
+}
+
+func parseCrash(s string) (Entry, error) {
+	rounds, target, ok := strings.Cut(s, ":")
+	if !ok {
+		return Entry{}, fmt.Errorf("fault: crash@%s: missing \":nID\" target", s)
+	}
+	from, to, err := parseRounds(rounds, true)
+	if err != nil {
+		return Entry{}, fmt.Errorf("fault: crash@%s: %v", s, err)
+	}
+	node, err := parseNode(target)
+	if err != nil {
+		return Entry{}, fmt.Errorf("fault: crash@%s: %v", s, err)
+	}
+	return Entry{Kind: Crash, Node: node, From: from, To: to}, nil
+}
+
+func parseBurst(s string) (Entry, error) {
+	args, rest, ok := strings.Cut(s, ")")
+	if !ok {
+		return Entry{}, fmt.Errorf("fault: burst(%s: missing \")\"", s)
+	}
+	e := Entry{Kind: Burst, Node: -1, From: 0, To: -1}
+	seen := map[string]bool{}
+	for _, kv := range strings.Split(args, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Entry{}, fmt.Errorf("fault: burst: bad parameter %q (want key=value)", kv)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Entry{}, fmt.Errorf("fault: burst: bad %s value %q", key, val)
+		}
+		if seen[key] {
+			return Entry{}, fmt.Errorf("fault: burst: duplicate parameter %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "p":
+			e.P = f
+		case "len":
+			e.Len = f
+		default:
+			return Entry{}, fmt.Errorf("fault: burst: unknown parameter %q (want p, len)", key)
+		}
+	}
+	if !seen["p"] || !seen["len"] {
+		return Entry{}, fmt.Errorf("fault: burst: needs both p= and len=")
+	}
+	if !(e.P > 0 && e.P <= 1) {
+		return Entry{}, fmt.Errorf("fault: burst: p=%v outside (0, 1]", e.P)
+	}
+	if !(e.Len >= 1) || e.Len > 1e9 {
+		return Entry{}, fmt.Errorf("fault: burst: len=%v outside [1, 1e9]", e.Len)
+	}
+	switch {
+	case rest == "" || rest == ":link":
+		// Every uplink.
+	case strings.HasPrefix(rest, ":"):
+		node, err := parseNode(rest[1:])
+		if err != nil {
+			return Entry{}, fmt.Errorf("fault: burst target: %v", err)
+		}
+		e.Node = node
+	default:
+		return Entry{}, fmt.Errorf("fault: burst: trailing %q (want \":link\" or \":nID\")", rest)
+	}
+	return e, nil
+}
+
+func parsePartition(s string) (Entry, error) {
+	from, to, err := parseRounds(s, false)
+	if err != nil {
+		return Entry{}, fmt.Errorf("fault: partition@%s: %v", s, err)
+	}
+	return Entry{Kind: Partition, From: from, To: to}, nil
+}
+
+// parseRounds parses "R" (openEnd only; To = -1) or "R1-R2".
+func parseRounds(s string, openEnd bool) (from, to int, err error) {
+	lo, hi, ranged := strings.Cut(s, "-")
+	from, err = parseRound(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !ranged {
+		if !openEnd {
+			return 0, 0, fmt.Errorf("round range %q needs an end (R1-R2)", s)
+		}
+		return from, -1, nil
+	}
+	to, err = parseRound(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if to <= from {
+		return 0, 0, fmt.Errorf("round range [%d, %d) is empty", from, to)
+	}
+	return from, to, nil
+}
+
+func parseRound(s string) (int, error) {
+	r, err := strconv.Atoi(s)
+	if err != nil || r < 0 {
+		return 0, fmt.Errorf("bad round %q", s)
+	}
+	const maxRound = 1 << 30
+	if r > maxRound {
+		return 0, fmt.Errorf("round %d too large", r)
+	}
+	return r, nil
+}
+
+func parseNode(s string) (int, error) {
+	if !strings.HasPrefix(s, "n") {
+		return 0, fmt.Errorf("bad node %q (want nID)", s)
+	}
+	id, err := strconv.Atoi(s[1:])
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad node %q (want nID)", s)
+	}
+	const maxNode = 1 << 24
+	if id > maxNode {
+		return 0, fmt.Errorf("node id %d too large", id)
+	}
+	return id, nil
+}
+
+// active reports whether the entry's round window covers r.
+func (e Entry) active(r int) bool {
+	return r >= e.From && (e.To < 0 || r < e.To)
+}
+
+// Injector replays a plan against an n-node deployment. All randomness
+// comes from its own seeded stream, advanced in node-index order once
+// per round, so a given (plan, n, seed) triple is bit-reproducible and
+// never perturbs the simulator's payload-loss sampler.
+type Injector struct {
+	plan     *Plan
+	n        int
+	rng      *rand.Rand
+	reliable bool
+
+	crashed  []bool
+	burstBad []bool
+	burstOf  []int // index into plan.Entries of each uplink's process, -1 none
+	part     bool
+}
+
+// NewInjector builds an injector for an n-node deployment. Entries
+// naming nodes outside [0, n) are inert. Call StartRound before each
+// round (including round 0) to advance the fault state.
+func NewInjector(plan *Plan, n int, seed int64) *Injector {
+	inj := &Injector{
+		plan:     plan,
+		n:        n,
+		rng:      rand.New(rand.NewSource(seed)),
+		crashed:  make([]bool, n),
+		burstBad: make([]bool, n),
+		burstOf:  make([]int, n),
+	}
+	for u := range inj.burstOf {
+		inj.burstOf[u] = -1
+	}
+	if plan != nil {
+		// The last matching burst entry governs each uplink.
+		for i, e := range plan.Entries {
+			if e.Kind != Burst {
+				continue
+			}
+			if e.Node < 0 {
+				for u := range inj.burstOf {
+					inj.burstOf[u] = i
+				}
+			} else if e.Node < n {
+				inj.burstOf[e.Node] = i
+			}
+		}
+	}
+	return inj
+}
+
+// StartRound advances the fault state to round r and returns the nodes
+// that crashed and recovered at this round boundary. Crash state is
+// computed directly from the schedule (not incrementally), so rounds
+// may be replayed from any point as long as the link processes are
+// advanced for every round in order.
+func (inj *Injector) StartRound(r int) (crashed, recovered []int) {
+	if inj.plan != nil {
+		for u := 0; u < inj.n; u++ {
+			want := false
+			for _, e := range inj.plan.Entries {
+				if e.Kind == Crash && e.Node == u && e.active(r) {
+					want = true
+					break
+				}
+			}
+			if want != inj.crashed[u] {
+				if want {
+					crashed = append(crashed, u)
+				} else {
+					recovered = append(recovered, u)
+				}
+				inj.crashed[u] = want
+			}
+		}
+	}
+	// Advance every Gilbert–Elliott link process exactly once, in node
+	// order, regardless of traffic — state evolution must not depend on
+	// what the protocols send.
+	for u := 0; u < inj.n; u++ {
+		i := inj.burstOf[u]
+		if i < 0 {
+			continue
+		}
+		e := inj.plan.Entries[i]
+		roll := inj.rng.Float64()
+		if inj.burstBad[u] {
+			if roll < 1/e.Len {
+				inj.burstBad[u] = false
+			}
+		} else if roll < e.P {
+			inj.burstBad[u] = true
+		}
+	}
+	inj.part = false
+	if inj.plan != nil {
+		for _, e := range inj.plan.Entries {
+			if e.Kind == Partition && e.active(r) {
+				inj.part = true
+				break
+			}
+		}
+	}
+	return crashed, recovered
+}
+
+// Down reports whether node u is crashed this round. The root (u < 0)
+// never crashes.
+func (inj *Injector) Down(u int) bool { return u >= 0 && u < inj.n && inj.crashed[u] }
+
+// BurstBad reports whether node u's uplink is in the Gilbert–Elliott
+// bad state this round (suppressed while the injector is reliable).
+func (inj *Injector) BurstBad(u int) bool {
+	return !inj.reliable && u >= 0 && u < inj.n && inj.burstBad[u]
+}
+
+// PartitionActive reports whether a sink-side partition covers this
+// round (suppressed while the injector is reliable).
+func (inj *Injector) PartitionActive() bool { return !inj.reliable && inj.part }
+
+// SetReliable suspends (true) or restores (false) link-level faults —
+// bursts and partitions — during protocol re-initialization replays.
+// Crashes are node failures, not link noise, and stay in force.
+func (inj *Injector) SetReliable(rel bool) { inj.reliable = rel }

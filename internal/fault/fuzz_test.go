@@ -1,0 +1,40 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePlan checks that the fault-plan DSL parser never panics on
+// arbitrary input, and that anything it accepts survives a
+// parse→format→parse round trip unchanged (String is a canonical,
+// lossless rendering).
+func FuzzParsePlan(f *testing.F) {
+	f.Add("crash@120:n17")
+	f.Add("crash@120-180:n17")
+	f.Add("burst(p=0.3,len=8):link")
+	f.Add("burst(p=0.05,len=2.5):n3")
+	f.Add("partition@100-140")
+	f.Add("crash@0:n0;burst(p=1,len=1):link;partition@1-2")
+	f.Add(" crash@5:n1 ;; ")
+	f.Add("burst(p=1e-3,len=1e6)")
+	f.Add("crash@")
+	f.Add("burst(p=,len=)")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		formatted := p.String()
+		p2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but Parse(String() = %q) failed: %v", spec, formatted, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the plan:\n  in    %q\n  fmt   %q\n  plan  %+v\n  plan2 %+v", spec, formatted, p, p2)
+		}
+		if p2.String() != formatted {
+			t.Fatalf("String not stable: %q then %q", formatted, p2.String())
+		}
+	})
+}

@@ -46,9 +46,21 @@ func SnapshotQuantile(rt *sim.Runtime, k, b int) (SnapshotResult, error) {
 			rt.Broadcast(Request{NBits: IntervalRequestBits(rt.Sizes())}, nil)
 			vals := CollectValuesIn(rt, clo, chi-1)
 			if len(vals) != inside {
-				return SnapshotResult{}, fmt.Errorf("protocol: expected %d candidates in [%d,%d), got %d", inside, clo, chi, len(vals))
+				// Under an attached fault plan, a shortfall covered by
+				// the round's coverage deficit degrades the answer
+				// instead of failing the query (DESIGN.md §4f); any
+				// other mismatch is a genuine desynchronization.
+				if short := inside - len(vals); short < 0 || short > rt.CoverageDeficit() {
+					return SnapshotResult{}, fmt.Errorf("protocol: expected %d candidates in [%d,%d), got %d", inside, clo, chi, len(vals))
+				}
+				if len(vals) == 0 {
+					// Every candidate holder is unreachable; the
+					// interval's lower bound is the best degraded answer.
+					return SnapshotResult{Value: clo, State: legAround(clo, base, inside, n)}, nil
+				}
 			}
-			q := vals[k-base-1]
+			idx := clampIndex(k-base-1, len(vals))
+			q := vals[idx]
 			return SnapshotResult{
 				Value: q,
 				State: legAround(q, base+mathx.CountLess(vals, q), mathx.CountEqual(vals, q), n),
@@ -60,7 +72,21 @@ func SnapshotQuantile(rt *sim.Runtime, k, b int) (SnapshotResult, error) {
 		}
 		rt.Broadcast(Request{NBits: IntervalRequestBits(rt.Sizes())}, nil)
 		counts := CollectHistogram(rt, bu)
-		idx, before, err := OwningBucket(counts, k-base)
+		kk := k - base
+		if deficit := rt.CoverageDeficit(); deficit > 0 {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total == 0 {
+				// The whole interval went silent: answer its lower bound.
+				return SnapshotResult{Value: clo, State: legAround(clo, base, inside, n)}, nil
+			}
+			if kk > total {
+				kk = total
+			}
+		}
+		idx, before, err := OwningBucket(counts, kk)
 		if err != nil {
 			return SnapshotResult{}, fmt.Errorf("protocol: snapshot search in [%d,%d): %w", clo, chi, err)
 		}
@@ -74,6 +100,17 @@ func SnapshotQuantile(rt *sim.Runtime, k, b int) (SnapshotResult, error) {
 			}, nil
 		}
 	}
+}
+
+// clampIndex clamps a rank-derived slice index into [0, n).
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
 }
 
 // legAround assembles an exact LEG for a point filter at value q given
@@ -107,9 +144,17 @@ func SnapshotFull(rt *sim.Runtime, k int) (SnapshotResult, []int, error) {
 	}
 	vals := CollectSmallestK(rt, n)
 	if len(vals) != n {
-		return SnapshotResult{}, nil, fmt.Errorf("protocol: initialization collected %d of %d values", len(vals), n)
+		// A shortfall covered by the runtime's coverage deficit (crashed
+		// or orphaned subtrees under an attached fault plan) degrades
+		// the snapshot; anything else is a protocol failure.
+		if short := n - len(vals); short > rt.CoverageDeficit() {
+			return SnapshotResult{}, nil, fmt.Errorf("protocol: initialization collected %d of %d values", len(vals), n)
+		}
+		if len(vals) == 0 {
+			return SnapshotResult{}, nil, fmt.Errorf("protocol: initialization reached no sensors")
+		}
 	}
-	q := vals[k-1]
+	q := vals[clampIndex(k-1, len(vals))]
 	res := SnapshotResult{
 		Value: q,
 		State: legAround(q, mathx.CountLess(vals, q), mathx.CountEqual(vals, q), n),

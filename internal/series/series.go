@@ -46,9 +46,9 @@ const (
 
 // Point is one sample of a key's time series covering Span consecutive
 // rounds starting at Round. Additive fields (frames, messages, joules,
-// refines, the phase bit buckets) sum over the span; RankError keeps
-// the worst round; HotJoules is the running per-node cumulative-drain
-// maximum at the end of the span.
+// refines, retries, the phase bit buckets) sum over the span;
+// RankError and Orphans keep the worst round; HotJoules is the running
+// per-node cumulative-drain maximum at the end of the span.
 type Point struct {
 	Round          int     `json:"round"`
 	Span           int     `json:"span"`
@@ -57,6 +57,8 @@ type Point struct {
 	Joules         float64 `json:"joules"`
 	RankError      int     `json:"rank_error"`
 	Refines        int     `json:"refines"`
+	Retries        int     `json:"retries"`
+	Orphans        int     `json:"orphans"`
 	ValidationBits int     `json:"validation_bits"`
 	RefinementBits int     `json:"refinement_bits"`
 	ShippingBits   int     `json:"shipping_bits"`
@@ -91,14 +93,19 @@ func (p Point) JoulesPerRound() float64 { return p.Joules / p.span() }
 func (p Point) BitsPerRound() float64 { return float64(p.Bits()) / p.span() }
 
 // merge folds b (the later span) into a (the earlier): sums add, the
-// rank error keeps the worst round, and HotJoules takes the later
-// running maximum (cumulative drain is monotonic within a run).
+// rank error and orphan count keep the worst round, and HotJoules
+// takes the later running maximum (cumulative drain is monotonic
+// within a run).
 func merge(a, b Point) Point {
 	a.Span += b.Span
 	a.Frames += b.Frames
 	a.Messages += b.Messages
 	a.Joules += b.Joules
 	a.Refines += b.Refines
+	a.Retries += b.Retries
+	if b.Orphans > a.Orphans {
+		a.Orphans = b.Orphans
+	}
 	a.ValidationBits += b.ValidationBits
 	a.RefinementBits += b.RefinementBits
 	a.ShippingBits += b.ShippingBits
@@ -297,6 +304,7 @@ func (s *Store) Window(key string, lastN int, f func(Point) float64) WindowStats
 type Totals struct {
 	Messages       int     // logical payload transmissions (per hop)
 	Frames         int     // link-layer frames
+	Retries        int     // ARQ retransmissions (fault mode)
 	ValidationBits int     // wire bits booked to validation and filter phases
 	RefinementBits int     // wire bits booked to the refinement phase
 	ShippingBits   int     // wire bits booked to collection and init phases
@@ -312,9 +320,10 @@ type Sampler func() Totals
 // IngestTotals is the sampling fast path of Ingest: instead of counting
 // every send and energy event, it samples the run's cumulative counters
 // once per round and stores the difference, so the per-event cost on the
-// traced hot path collapses to one switch dispatch. Only the two
-// event kinds without a cumulative counter — the round's decision (rank
-// error) and refinement requests — are still read from the stream.
+// traced hot path collapses to one switch dispatch. Only the event
+// kinds without a cumulative counter — the round's decision (rank
+// error), refinement requests, and degraded-answer tags (orphan
+// count) — are still read from the stream.
 // Use it whenever the live runtime is at hand (the experiment engine
 // and Simulation do); Ingest remains for replaying recorded streams,
 // where no counters exist to sample.
@@ -336,14 +345,16 @@ type totalsIngester struct {
 	open    bool
 	rankErr int
 	refines int
+	orphans int
 }
 
 func (in *totalsIngester) Collect(e trace.Event) {
 	// Single predictable compare for the torrent of per-hop events
 	// (send, receive, drop, fragment, energy — the contiguous kinds
-	// between the round markers and the decision): they carry nothing
-	// the counters don't already hold.
-	if e.Kind >= trace.KindSend && e.Kind <= trace.KindEnergy {
+	// between the round markers and the decision — plus ARQ
+	// retransmissions): they carry nothing the counters don't already
+	// hold.
+	if (e.Kind >= trace.KindSend && e.Kind <= trace.KindEnergy) || e.Kind == trace.KindRetry {
 		return
 	}
 	switch e.Kind {
@@ -352,7 +363,7 @@ func (in *totalsIngester) Collect(e trace.Event) {
 			in.prev = in.sample()
 			in.primed = true
 		}
-		in.rankErr, in.refines = 0, 0
+		in.rankErr, in.refines, in.orphans = 0, 0, 0
 		in.open = true
 	case trace.KindRoundEnd:
 		if !in.open {
@@ -367,6 +378,8 @@ func (in *totalsIngester) Collect(e trace.Event) {
 			Joules:         t.Joules - in.prev.Joules,
 			RankError:      in.rankErr,
 			Refines:        in.refines,
+			Retries:        t.Retries - in.prev.Retries,
+			Orphans:        in.orphans,
 			ValidationBits: t.ValidationBits - in.prev.ValidationBits,
 			RefinementBits: t.RefinementBits - in.prev.RefinementBits,
 			ShippingBits:   t.ShippingBits - in.prev.ShippingBits,
@@ -385,6 +398,10 @@ func (in *totalsIngester) Collect(e trace.Event) {
 		}
 	case trace.KindRefine:
 		in.refines++
+	case trace.KindDegraded:
+		if e.Values > in.orphans {
+			in.orphans = e.Values
+		}
 	}
 }
 
@@ -438,17 +455,21 @@ func (in *ingester) Collect(e trace.Event) {
 			sink(in.key, p)
 		}
 	case trace.KindSend:
-		in.cur.Messages++
+		if e.Cast != trace.Ack {
+			// Ack-cast sends are wire-only control frames (link-layer
+			// ACKs, join handshakes): frames and bits, but no logical
+			// payload, mirroring the runtime's control accounting.
+			in.cur.Messages++
+		}
 		in.cur.Frames += e.Frames
-		switch e.Phase {
-		case phaseValidation, phaseFilter:
-			in.cur.ValidationBits += e.Wire
-		case phaseRefinement:
-			in.cur.RefinementBits += e.Wire
-		case phaseCollect, phaseInit:
-			in.cur.ShippingBits += e.Wire
-		default:
-			in.cur.OtherBits += e.Wire
+		in.addPhaseBits(e)
+	case trace.KindRetry:
+		in.cur.Retries++
+		in.cur.Frames += e.Frames
+		in.addPhaseBits(e)
+	case trace.KindDegraded:
+		if e.Values > in.cur.Orphans {
+			in.cur.Orphans = e.Values
 		}
 	case trace.KindEnergy:
 		in.cur.Joules += e.Joules
@@ -464,5 +485,20 @@ func (in *ingester) Collect(e trace.Event) {
 		}
 	case trace.KindRefine:
 		in.cur.Refines++
+	}
+}
+
+// addPhaseBits books a transmission's wire bits into the phase bucket
+// its trace phase names.
+func (in *ingester) addPhaseBits(e trace.Event) {
+	switch e.Phase {
+	case phaseValidation, phaseFilter:
+		in.cur.ValidationBits += e.Wire
+	case phaseRefinement:
+		in.cur.RefinementBits += e.Wire
+	case phaseCollect, phaseInit:
+		in.cur.ShippingBits += e.Wire
+	default:
+		in.cur.OtherBits += e.Wire
 	}
 }

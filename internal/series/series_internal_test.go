@@ -28,6 +28,20 @@ func TestPhaseVocabularyMatchesSim(t *testing.T) {
 	}
 }
 
+// TestMergeRetriesAndOrphans pins the downsampling semantics of the
+// fault metrics: retries are additive across the merged span, the
+// orphan count keeps the worst round regardless of merge order.
+func TestMergeRetriesAndOrphans(t *testing.T) {
+	a := Point{Span: 1, Retries: 2, Orphans: 5}
+	b := Point{Span: 1, Retries: 3, Orphans: 1}
+	if m := merge(a, b); m.Retries != 5 || m.Orphans != 5 {
+		t.Errorf("merge(a,b) retries/orphans = %d/%d, want 5/5", m.Retries, m.Orphans)
+	}
+	if m := merge(b, a); m.Retries != 5 || m.Orphans != 5 {
+		t.Errorf("merge(b,a) retries/orphans = %d/%d, want 5/5", m.Retries, m.Orphans)
+	}
+}
+
 // TestDownsampleInternals checks the stride bookkeeping directly: after
 // the first halving the stored stride doubles and an odd tail becomes
 // the new pending partial.

@@ -94,6 +94,44 @@ func TestIngestAccumulatesOneRound(t *testing.T) {
 	}
 }
 
+// TestIngestFaultTraffic checks the event path's fault-mode
+// accounting: ARQ retransmissions count as retries (frames and bits,
+// no logical message), Ack-cast control frames add frames and bits
+// only, and degraded-answer tags set the round's orphan watermark.
+func TestIngestFaultTraffic(t *testing.T) {
+	st := series.New(0)
+	var got []series.Point
+	in := st.Ingest("HBC", func(_ string, p series.Point) { got = append(got, p) })
+	round(in, 0,
+		trace.Event{Kind: trace.KindSend, Phase: sim.PhaseValidation, Wire: 100, Frames: 1},
+		trace.Event{Kind: trace.KindRetry, Phase: sim.PhaseValidation, Wire: 100, Frames: 1, Aux: 1},
+		trace.Event{Kind: trace.KindRetry, Phase: sim.PhaseValidation, Wire: 100, Frames: 1, Aux: 2},
+		trace.Event{Kind: trace.KindSend, Cast: trace.Ack, Phase: sim.PhaseValidation, Wire: 128, Frames: 1},
+		trace.Event{Kind: trace.KindReceive, Cast: trace.Ack, Phase: sim.PhaseValidation, Wire: 128, Frames: 1},
+		trace.Event{Kind: trace.KindDegraded, Node: -1, Value: 5, Values: 3, Aux: 2, Err: 5},
+		trace.Event{Kind: trace.KindDegraded, Node: -1, Value: 4, Values: 2, Aux: 3, Err: 4},
+	)
+	if len(got) != 1 {
+		t.Fatalf("sink saw %d points, want 1", len(got))
+	}
+	p := got[0]
+	if p.Messages != 1 {
+		t.Errorf("messages = %d, want 1 (retries and acks are not payloads)", p.Messages)
+	}
+	if p.Retries != 2 {
+		t.Errorf("retries = %d, want 2", p.Retries)
+	}
+	if p.Frames != 4 { // payload + 2 retries + ack
+		t.Errorf("frames = %d, want 4", p.Frames)
+	}
+	if p.ValidationBits != 428 { // 100 + 2*100 + 128
+		t.Errorf("validation bits = %d, want 428", p.ValidationBits)
+	}
+	if p.Orphans != 3 { // the round's worst degraded tag
+		t.Errorf("orphans = %d, want 3", p.Orphans)
+	}
+}
+
 // TestIngestHotJoulesIsCumulative checks the watermark rises across
 // rounds (cumulative per-node drain), not per-round energy.
 func TestIngestHotJoulesIsCumulative(t *testing.T) {
@@ -321,17 +359,19 @@ type liveCounters struct {
 func (lc *liveCounters) Collect(e trace.Event) {
 	switch e.Kind {
 	case trace.KindSend:
-		lc.t.Messages++
+		// Ack-cast sends are control frames: the runtime books their
+		// frames and bits but no logical payload.
+		if e.Cast != trace.Ack {
+			lc.t.Messages++
+		}
 		lc.t.Frames += e.Frames
 		lc.t.TotalBits += e.Wire
-		switch e.Phase {
-		case sim.PhaseValidation, sim.PhaseFilter:
-			lc.t.ValidationBits += e.Wire
-		case sim.PhaseRefinement:
-			lc.t.RefinementBits += e.Wire
-		case sim.PhaseCollect, sim.PhaseInit:
-			lc.t.ShippingBits += e.Wire
-		}
+		lc.phaseBits(e)
+	case trace.KindRetry:
+		lc.t.Retries++
+		lc.t.Frames += e.Frames
+		lc.t.TotalBits += e.Wire
+		lc.phaseBits(e)
 	case trace.KindEnergy:
 		lc.t.Joules += e.Joules
 		if e.Node >= 0 {
@@ -343,6 +383,17 @@ func (lc *liveCounters) Collect(e trace.Event) {
 				lc.t.HotJoules = lc.node[e.Node]
 			}
 		}
+	}
+}
+
+func (lc *liveCounters) phaseBits(e trace.Event) {
+	switch e.Phase {
+	case sim.PhaseValidation, sim.PhaseFilter:
+		lc.t.ValidationBits += e.Wire
+	case sim.PhaseRefinement:
+		lc.t.RefinementBits += e.Wire
+	case sim.PhaseCollect, sim.PhaseInit:
+		lc.t.ShippingBits += e.Wire
 	}
 }
 
@@ -375,6 +426,16 @@ func TestIngestTotalsMatchesEventIngest(t *testing.T) {
 			events = append(events,
 				trace.Event{Kind: trace.KindDecision, Err: r % 11},
 				trace.Event{Kind: trace.KindRefine},
+			)
+		}
+		if r%4 == 1 {
+			// Fault-mode traffic: an ARQ retransmission, its eventual ACK
+			// (a Cast=Ack control frame pair), and a degraded-answer tag.
+			events = append(events,
+				trace.Event{Kind: trace.KindRetry, Phase: phases[r%len(phases)], Wire: 60 + r, Frames: 1, Aux: 1},
+				trace.Event{Kind: trace.KindSend, Cast: trace.Ack, Phase: phases[r%len(phases)], Wire: 128, Frames: 1},
+				trace.Event{Kind: trace.KindReceive, Cast: trace.Ack, Phase: phases[r%len(phases)], Wire: 128, Frames: 1},
+				trace.Event{Kind: trace.KindDegraded, Node: -1, Value: 1 + r%4, Values: r % 4, Aux: 1, Err: 1 + r%4},
 			)
 		}
 		round(both, r, events...)

@@ -39,8 +39,16 @@ type Config struct {
 
 	// LossProb drops each convergecast hop's payload with this
 	// probability, after the sender has paid for it. Broadcast
-	// (control) traffic is assumed reliable (see DESIGN.md §3).
+	// (control) traffic is assumed reliable (see DESIGN.md §3) unless
+	// LossBroadcast is set.
 	LossProb float64
+
+	// LossBroadcast subjects broadcast (downstream) hops to the same
+	// iid loss sampler: a node that misses the flood does not
+	// retransmit it, so its subtree starves too. Off by default — the
+	// historical model treats control floods as reliable, and golden
+	// traces pin that behavior.
+	LossBroadcast bool
 
 	// ChargeByDistance charges transmissions by the actual link length
 	// instead of the nominal radio range ρ (the paper's cost function
@@ -86,7 +94,12 @@ type Stats struct {
 	PayloadsSent  int // logical payload transmissions (per hop)
 	BitsSent      int // total bits on the air, framing included
 	ValuesSent    int // raw measurements carried, per hop
-	PayloadsLost  int // convergecast payloads dropped by loss injection
+	PayloadsLost  int // payloads lost in flight, both directions
+
+	PayloadsLostUp   int // convergecast (upstream) payloads lost
+	PayloadsLostDown int // broadcast (downstream) deliveries lost
+	Retries          int // ARQ retransmissions
+	AckFrames        int // link-layer ACK frames (ARQ and join handshakes)
 
 	// PerPhase attributes the traffic to protocol stages, keyed by the
 	// Phase* labels.
@@ -104,10 +117,12 @@ type Runtime struct {
 	byDist bool
 	rng    *rand.Rand
 
-	round int
-	phase string
-	stats Stats
-	tr    trace.Collector // nil = flight recorder disabled
+	round     int
+	phase     string
+	stats     Stats
+	tr        trace.Collector // nil = flight recorder disabled
+	lossBcast bool
+	flt       *faultState // nil = fault/recovery layer disabled
 }
 
 // New validates the configuration and builds a Runtime positioned at
@@ -132,13 +147,14 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("sim: loss probability %v out of [0,1)", cfg.LossProb)
 	}
 	rt := &Runtime{
-		top:    cfg.Topology,
-		src:    cfg.Source,
-		sizes:  cfg.Sizes,
-		ledger: energy.NewLedger(cfg.Topology.N(), cfg.Energy),
-		loss:   cfg.LossProb,
-		byDist: cfg.ChargeByDistance,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		top:       cfg.Topology,
+		src:       cfg.Source,
+		sizes:     cfg.Sizes,
+		ledger:    energy.NewLedger(cfg.Topology.N(), cfg.Energy),
+		loss:      cfg.LossProb,
+		byDist:    cfg.ChargeByDistance,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		lossBcast: cfg.LossBroadcast,
 	}
 	if cfg.Trace != nil {
 		rt.SetTrace(cfg.Trace)
@@ -215,6 +231,10 @@ func (rt *Runtime) Round() int { return rt.round }
 // LossProb returns the current per-hop convergecast loss probability.
 func (rt *Runtime) LossProb() float64 { return rt.loss }
 
+// BroadcastLossy reports whether broadcast hops go through the loss
+// sampler too (Config.LossBroadcast).
+func (rt *Runtime) BroadcastLossy() bool { return rt.lossBcast }
+
 // SetLossProb adjusts the loss probability mid-run. Protocol
 // initialization is typically modeled as reliable (acknowledged)
 // transfer, so harnesses disable loss around Init.
@@ -229,12 +249,18 @@ func (rt *Runtime) SetLossProb(p float64) error {
 // AdvanceRound moves to the next round; subsequent Reading calls see
 // the new measurements.
 func (rt *Runtime) AdvanceRound() {
+	if rt.flt != nil {
+		rt.endRoundFaults()
+	}
 	if rt.tr != nil {
 		rt.tr.Collect(trace.Event{Kind: trace.KindRoundEnd, Round: rt.round, Node: -1})
 	}
 	rt.round++
 	if rt.tr != nil {
 		rt.tr.Collect(trace.Event{Kind: trace.KindRoundStart, Round: rt.round, Node: -1})
+	}
+	if rt.flt != nil {
+		rt.startRoundFaults()
 	}
 }
 
@@ -265,6 +291,13 @@ func (rt *Runtime) TraceDecision(k, q int) {
 		Kind: trace.KindDecision, Round: rt.round, Phase: rt.Phase(),
 		Node: -1, Value: q, Aux: k, Err: rt.RankErrorOf(k, q),
 	})
+	if f := rt.flt; f != nil && f.missing+f.lostSub > 0 {
+		rt.tr.Collect(trace.Event{
+			Kind: trace.KindDegraded, Round: rt.round, Phase: rt.Phase(),
+			Node: -1, Value: f.missing, Values: f.orphans,
+			Aux: rt.Staleness(), Err: f.missing + f.lostSub,
+		})
+	}
 }
 
 // RankErrorOf returns the distance between k and the closest rank the
@@ -375,18 +408,37 @@ func (rt *Runtime) Convergecast(merge func(node int, children []Payload) Payload
 	inbox := make([][]Payload, rt.N())
 	var atRoot []Payload
 	for _, u := range rt.top.PostOrder {
+		if rt.flt != nil && rt.crashedNode(u) {
+			// A crashed sensor neither merges nor transmits; whatever
+			// its subtree delivered dies with it.
+			inbox[u] = nil
+			continue
+		}
 		p := merge(u, inbox[u])
 		inbox[u] = nil
 		if p == nil {
 			continue
 		}
 		parent := rt.top.Parent[u]
+		if rt.flt != nil {
+			// Fault-aware delivery: per-attempt charging, ARQ, and
+			// dead-link bookkeeping live in hopWithFaults.
+			if rt.hopWithFaults(u, parent, p) {
+				if parent == -1 {
+					atRoot = append(atRoot, p)
+				} else {
+					inbox[parent] = append(inbox[parent], p)
+				}
+			}
+			continue
+		}
 		rt.charge(u, parent, p)
 		// Intra-node hops from virtual senders never touch the radio, so
 		// they leave no send/receive/drop events.
 		radio := rt.tr != nil && !rt.top.IsVirtual(u)
 		if rt.loss > 0 && rt.rng.Float64() < rt.loss {
 			rt.stats.PayloadsLost++
+			rt.stats.PayloadsLostUp++
 			if radio {
 				rt.tr.Collect(trace.Event{
 					Kind: trace.KindDrop, Round: rt.round, Phase: rt.Phase(),
@@ -416,9 +468,16 @@ func (rt *Runtime) Convergecast(merge func(node int, children []Payload) Payload
 // once (free), every sensor receives it from its parent, and every
 // sensor with children retransmits it once. visit, if non-nil, is
 // called for each sensor in top-down order so node-local state can be
-// updated. Broadcasts are reliable.
+// updated. Broadcasts are reliable unless faults are attached or
+// Config.LossBroadcast subjects the flood to the loss sampler; then a
+// node that misses the flood starves its subtree and visit only runs
+// for the sensors actually reached.
 func (rt *Runtime) Broadcast(p Payload, visit func(node int)) {
 	rt.stats.Broadcasts++
+	if rt.flt != nil || rt.lossBcast {
+		rt.broadcastFaulty(p, visit)
+		return
+	}
 	bits := p.Bits()
 	wire := rt.sizes.WireBits(bits)
 	frames := rt.sizes.Frames(bits)

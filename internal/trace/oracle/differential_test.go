@@ -9,6 +9,7 @@ import (
 	"wsnq/internal/approx"
 	"wsnq/internal/baseline"
 	"wsnq/internal/core"
+	"wsnq/internal/fault"
 	"wsnq/internal/protocol"
 	"wsnq/internal/sim"
 	"wsnq/internal/simtest"
@@ -120,6 +121,104 @@ func TestDifferentialUnderLoss(t *testing.T) {
 	}
 	if !sawDrop {
 		t.Error("30% loss over 6 runs produced no drop events — loss tracing is dead")
+	}
+}
+
+// runFaulty drives alg under an attached fault plan with the recovery
+// contract the experiment engine implements: a pending repair/recovery
+// flag — or a Step desynchronization — replays the algorithm's
+// initialization over temporarily reliable links (crashes stay in
+// force), restoring exact answers once the tree heals.
+func runFaulty(rt *sim.Runtime, alg protocol.Algorithm, k, rounds int) error {
+	reinit := func() (int, error) {
+		rt.SetFaultReliable(true)
+		defer rt.SetFaultReliable(false)
+		return alg.Init(rt, k)
+	}
+	q, err := reinit()
+	if err != nil {
+		return fmt.Errorf("%s init: %w", alg.Name(), err)
+	}
+	rt.TraceDecision(k, q)
+	for t := 1; t <= rounds; t++ {
+		rt.AdvanceRound()
+		if rt.ConsumeReinit() {
+			if q, err = reinit(); err != nil {
+				return fmt.Errorf("%s reinit round %d: %w", alg.Name(), t, err)
+			}
+		} else if q, err = alg.Step(rt); err != nil {
+			if q, err = reinit(); err != nil {
+				return fmt.Errorf("%s recovery round %d: %w", alg.Name(), t, err)
+			}
+		}
+		rt.TraceDecision(k, q)
+	}
+	return nil
+}
+
+// TestDifferentialUnderFaults replays chaos runs — a scheduled
+// crash/recovery plus a Gilbert–Elliott bursty uplink under ARQ — for
+// both paper algorithms. Answers may legitimately degrade while
+// coverage is broken (the golden recovery study judges those), but
+// energy conservation — now including per-attempt retry charges, ACK
+// frames, and join handshakes — message accounting, ack balance, and
+// framing must hold exactly.
+func TestDifferentialUnderFaults(t *testing.T) {
+	algs := []struct {
+		name string
+		mk   func() protocol.Algorithm
+	}{
+		{"HBC", func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) }},
+		{"IQ", func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }},
+	}
+	sawRetry, sawDegraded, sawCrash := false, false, false
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(8)
+		rounds := 12
+		series := simtest.CorrelatedSeries(rng, n, rounds+1, 256, 16)
+		spec := fmt.Sprintf("crash@3-7:n%d; burst(p=0.5,len=3):n%d", 1+rng.Intn(n-1), rng.Intn(n))
+		for _, alg := range algs {
+			plan, err := fault.Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := mustRuntime(t, series, 256, seed+4000)
+			rec := trace.NewRecorder()
+			rt.SetTrace(rec)
+			if err := rt.SetFaults(plan, seed, sim.DefaultARQ()); err != nil {
+				t.Fatal(err)
+			}
+			if err := runFaulty(rt, alg.mk(), 1+rng.Intn(n), rounds); err != nil {
+				t.Fatalf("%s seed %d (%s): %v", alg.name, seed, spec, err)
+			}
+			cfg := oracle.FromRuntime(rt)
+			cfg.Readings = nil // degraded answers are judged by the recovery study
+			rep := oracle.Check(rec.Events(), cfg)
+			if err := rep.Err(); err != nil {
+				t.Errorf("%s seed %d (%s): %v", alg.name, seed, spec, err)
+			}
+			if rep.AckFrames == 0 {
+				t.Errorf("%s seed %d: ARQ enabled but no ack frames traced", alg.name, seed)
+			}
+			sawRetry = sawRetry || rep.Retries > 0
+			sawDegraded = sawDegraded || rep.Degraded > 0
+			for _, e := range rec.Events() {
+				if e.Kind == trace.KindCrash {
+					sawCrash = true
+					break
+				}
+			}
+		}
+	}
+	if !sawRetry {
+		t.Error("bursty links under ARQ produced no retry events across all seeds")
+	}
+	if !sawDegraded {
+		t.Error("mid-run crashes produced no degraded rounds across all seeds")
+	}
+	if !sawCrash {
+		t.Error("crash schedule produced no crash events across all seeds")
 	}
 }
 

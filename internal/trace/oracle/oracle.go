@@ -9,7 +9,11 @@
 //	    equals the ledger's final per-node consumption;
 //	(c) message accounting — every convergecast send is matched by a
 //	    reception or a drop, broadcast floods reach every radio node,
-//	    and frame/wire sizes agree with the link-layer framing model.
+//	    and frame/wire sizes agree with the link-layer framing model;
+//	(d) fault-mode accounting — with a fault plan attached, every ACK
+//	    or handshake frame balances send against reception, ARQ
+//	    retransmissions obey the framing model, and each degraded
+//	    round's decision stays within its traced rank-error bound.
 //
 // It is the repo-wide correctness harness behind the differential tests
 // and is deliberately independent of the emitting code: it recomputes
@@ -61,6 +65,18 @@ type Config struct {
 	// BroadcastSends > 0 enables the broadcast accounting check.
 	BroadcastSends    int
 	BroadcastReceives int
+
+	// AllowDegraded accepts degraded rounds (trace.KindDegraded tags):
+	// the tag's rank-error bound widens that round's quantile check.
+	// Without it any degraded tag is itself a violation. Set when the
+	// run had a fault plan attached.
+	AllowDegraded bool
+
+	// LossyBroadcast marks broadcast floods as unreliable (iid
+	// downlink loss or an attached fault plan): traced broadcast drops
+	// become legal and the per-flood shape accounting is skipped,
+	// since truncated floods no longer reach every radio node.
+	LossyBroadcast bool
 }
 
 // FromRuntime assembles the full replay configuration for a finished
@@ -99,6 +115,8 @@ func FromRuntime(rt *sim.Runtime) Config {
 		Energy:            rt.Ledger().Snapshot(),
 		BroadcastSends:    bSends,
 		BroadcastReceives: bReceives,
+		AllowDegraded:     rt.FaultsAttached(),
+		LossyBroadcast:    rt.BroadcastLossy() || rt.FaultsAttached(),
 	}
 }
 
@@ -124,6 +142,9 @@ type Report struct {
 	Sends      int // unicast radio transmissions
 	Receives   int // unicast receptions
 	Drops      int
+	Retries    int // ARQ retransmissions
+	AckFrames  int // link-layer ACK / handshake frames
+	Degraded   int // rounds tagged with a degraded answer
 	Violations []Violation
 }
 
@@ -168,6 +189,11 @@ func Check(events []trace.Event, cfg Config) Report {
 	decided := map[int]bool{}
 	var energySum []float64
 	bSends, bReceives := 0, 0
+	ackSends, ackReceives := 0, 0
+	// Decisions are buffered: the degraded tag that widens a round's
+	// quantile bound is traced after the decision it covers.
+	var decisions []trace.Event
+	degradedBound := map[int]int{}
 
 	flow := func(round int) *roundFlow {
 		f := flows[round]
@@ -181,6 +207,12 @@ func Check(events []trace.Event, cfg Config) Report {
 	for _, e := range events {
 		switch e.Kind {
 		case trace.KindSend:
+			if e.Cast == trace.Ack {
+				rep.AckFrames++
+				ackSends++
+				rep.checkAckFraming(cfg, e)
+				continue
+			}
 			rep.checkFraming(cfg, e)
 			if e.Cast == trace.Broadcast {
 				bSends++
@@ -189,6 +221,11 @@ func Check(events []trace.Event, cfg Config) Report {
 				flow(e.Round).sends++
 			}
 		case trace.KindReceive:
+			if e.Cast == trace.Ack {
+				ackReceives++
+				rep.checkAckFraming(cfg, e)
+				continue
+			}
 			if e.Cast == trace.Broadcast {
 				bReceives++
 			} else {
@@ -197,11 +234,19 @@ func Check(events []trace.Event, cfg Config) Report {
 			}
 		case trace.KindDrop:
 			if e.Cast == trace.Broadcast {
-				rep.violate(e.Round, "accounting", "broadcast traffic is reliable but a drop was traced (node %d)", e.Node)
+				if !cfg.LossyBroadcast {
+					rep.violate(e.Round, "accounting", "broadcast traffic is reliable but a drop was traced (node %d)", e.Node)
+				}
 				continue
 			}
 			rep.Drops++
 			flow(e.Round).drops++
+		case trace.KindRetry:
+			rep.Retries++
+			rep.checkFraming(cfg, e)
+			if e.Aux < 1 {
+				rep.violate(e.Round, "accounting", "retry event with attempt %d < 1 (node %d)", e.Aux, e.Node)
+			}
 		case trace.KindFragment:
 			if e.Frames < 2 {
 				rep.violate(e.Round, "framing", "fragment event for a %d-frame payload (node %d)", e.Frames, e.Node)
@@ -219,6 +264,18 @@ func Check(events []trace.Event, cfg Config) Report {
 				energySum = append(energySum, 0)
 			}
 			energySum[e.Node] += e.Joules
+		case trace.KindDegraded:
+			if !cfg.AllowDegraded {
+				rep.violate(e.Round, "quantile", "degraded answer traced without an attached fault plan")
+				continue
+			}
+			rep.Degraded++
+			if e.Values > e.Value {
+				rep.violate(e.Round, "accounting", "%d orphans exceed the %d unreachable sensors they are a subset of", e.Values, e.Value)
+			}
+			if e.Err > degradedBound[e.Round] {
+				degradedBound[e.Round] = e.Err
+			}
 		case trace.KindDecision:
 			if decided[e.Round] {
 				rep.violate(e.Round, "quantile", "multiple decisions in one round")
@@ -226,10 +283,20 @@ func Check(events []trace.Event, cfg Config) Report {
 			}
 			decided[e.Round] = true
 			rep.Decisions++
-			rep.checkDecision(cfg, e)
+			decisions = append(decisions, e)
 		}
 	}
 	rep.Rounds = len(decided)
+
+	// (a) quantile correctness, with any degraded tag widening its
+	// round's acceptable rank error.
+	for _, e := range decisions {
+		bound := cfg.RankBound
+		if db := float64(degradedBound[e.Round]); db > bound {
+			bound = db
+		}
+		rep.checkDecision(cfg, e, bound)
+	}
 
 	// (c) unicast accounting, per round: sends = receives + drops.
 	rounds := make([]int, 0, len(flows))
@@ -243,10 +310,16 @@ func Check(events []trace.Event, cfg Config) Report {
 			rep.violate(r, "accounting", "%d sends ≠ %d receives + %d drops", f.sends, f.receives, f.drops)
 		}
 	}
+	// (c) ACK accounting: acks and handshake frames are modeled
+	// reliable, so every ack send has exactly one matching reception.
+	if ackSends != ackReceives {
+		rep.violate(-1, "accounting", "%d ack sends ≠ %d ack receives (acks are reliable)", ackSends, ackReceives)
+	}
 	// (c) broadcast accounting: every flood causes a fixed number of
 	// transmissions and receptions on a given topology, so the totals
-	// must be an integer multiple of that shape.
-	if cfg.BroadcastSends > 0 {
+	// must be an integer multiple of that shape. A lossy or faulty
+	// downlink truncates floods arbitrarily, so no shape holds.
+	if cfg.BroadcastSends > 0 && !cfg.LossyBroadcast {
 		if bSends%cfg.BroadcastSends != 0 {
 			rep.violate(-1, "accounting", "%d broadcast sends is not a multiple of the %d per flood", bSends, cfg.BroadcastSends)
 		} else if floods := bSends / cfg.BroadcastSends; bReceives != floods*cfg.BroadcastReceives {
@@ -291,9 +364,22 @@ func (rep *Report) checkFraming(cfg Config, e trace.Event) {
 	}
 }
 
+// checkAckFraming verifies an ack or handshake control frame: always a
+// single header-only frame on the wire.
+func (rep *Report) checkAckFraming(cfg Config, e trace.Event) {
+	if !cfg.HasSizes {
+		return
+	}
+	if e.Frames != 1 || e.Bits != 0 || e.Wire != cfg.Sizes.HeaderBits {
+		rep.violate(e.Round, "framing", "ack frame with %d payload bits, %d wire bits, %d frames; want a single %d-bit header (node %d)",
+			e.Bits, e.Wire, e.Frames, cfg.Sizes.HeaderBits, e.Node)
+	}
+}
+
 // checkDecision verifies one root decision against the centralized sort
-// oracle.
-func (rep *Report) checkDecision(cfg Config, e trace.Event) {
+// oracle, within bound when positive (the configured protocol bound,
+// widened by the round's degraded tag if any).
+func (rep *Report) checkDecision(cfg Config, e trace.Event, bound float64) {
 	if cfg.Readings == nil {
 		return
 	}
@@ -303,9 +389,9 @@ func (rep *Report) checkDecision(cfg Config, e trace.Event) {
 		rep.violate(e.Round, "quantile", "rank %d outside [1,%d]", k, len(readings))
 		return
 	}
-	if cfg.RankBound > 0 {
-		if re := rankError(readings, k, e.Value); float64(re) > cfg.RankBound {
-			rep.violate(e.Round, "quantile", "reported %d has rank error %d > bound %.2f (k=%d)", e.Value, re, cfg.RankBound, k)
+	if bound > 0 {
+		if re := rankError(readings, k, e.Value); float64(re) > bound {
+			rep.violate(e.Round, "quantile", "reported %d has rank error %d > bound %.2f (k=%d)", e.Value, re, bound, k)
 		}
 		return
 	}

@@ -273,6 +273,138 @@ func TestFramingViolations(t *testing.T) {
 	}
 }
 
+// TestDegradedQuantileMode covers the fault-mode decision contract: a
+// degraded tag widens its own round's rank bound (and only its own),
+// an undersized tag still trips the check, and without AllowDegraded
+// the tag itself is a violation.
+func TestDegradedQuantileMode(t *testing.T) {
+	cfg := Config{
+		Readings:      func(int) []int { return []int{10, 20, 30, 40, 50} },
+		AllowDegraded: true,
+	}
+	// 50 is rank 5; k=2 means a rank error of 3. The tag trails its
+	// decision in stream order, as the runtime emits it.
+	events := []trace.Event{
+		{Kind: trace.KindDecision, Round: 0, Node: -1, Value: 50, Aux: 2},
+		{Kind: trace.KindDegraded, Round: 0, Node: -1, Value: 3, Values: 2, Aux: 1, Err: 3},
+	}
+	rep := Check(events, cfg)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("covered degraded answer rejected: %v", err)
+	}
+	if rep.Degraded != 1 {
+		t.Fatalf("Degraded = %d, want 1", rep.Degraded)
+	}
+	// A bound smaller than the error does not save the decision.
+	events[1].Err = 2
+	if violations(t, Check(events, cfg), "quantile") != 1 {
+		t.Fatal("out-of-bound degraded answer accepted")
+	}
+	events[1].Err = 3
+	// The widening is per round: an untagged round stays exact.
+	rep = Check([]trace.Event{
+		{Kind: trace.KindDecision, Round: 1, Node: -1, Value: 50, Aux: 2},
+	}, cfg)
+	if violations(t, rep, "quantile") != 1 {
+		t.Fatal("wrong answer in an untagged round accepted")
+	}
+	// Without AllowDegraded the tag is a violation and the decision is
+	// judged exactly.
+	cfg.AllowDegraded = false
+	if n := countKind(Check(events, cfg), "quantile"); n != 2 {
+		t.Fatalf("fault-free replay of a degraded stream: %d quantile violations, want 2", n)
+	}
+	// Orphans are a subset of the unreachable sensors.
+	cfg.AllowDegraded = true
+	rep = Check([]trace.Event{
+		{Kind: trace.KindDegraded, Round: 0, Node: -1, Value: 1, Values: 2, Err: 5},
+	}, cfg)
+	if violations(t, rep, "accounting") != 1 {
+		t.Fatal("orphans > missing accepted")
+	}
+}
+
+// TestAckAccounting covers the ACK invariants: ack frames balance
+// send against reception, stay out of the unicast payload flow, and
+// must be single header-only frames.
+func TestAckAccounting(t *testing.T) {
+	s := msg.DefaultSizes()
+	ack := func(kind trace.Kind, node, peer int) trace.Event {
+		return trace.Event{
+			Kind: kind, Round: 0, Node: node, Peer: peer,
+			Cast: trace.Ack, Wire: s.HeaderBits, Frames: 1,
+		}
+	}
+	cfg := Config{Sizes: s, HasSizes: true}
+
+	rep := Check([]trace.Event{ack(trace.KindSend, 1, 2), ack(trace.KindReceive, 2, 1)}, cfg)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("balanced ack pair rejected: %v", err)
+	}
+	if rep.AckFrames != 1 || rep.Sends != 0 || rep.Receives != 0 {
+		t.Fatalf("ack pair leaked into payload flow: %+v", rep)
+	}
+	// A lost ack contradicts the reliable-ack model.
+	if violations(t, Check([]trace.Event{ack(trace.KindSend, 1, 2)}, cfg), "accounting") != 1 {
+		t.Fatal("unbalanced ack accepted")
+	}
+	// An ack is exactly one header frame.
+	bad := ack(trace.KindSend, 1, 2)
+	bad.Wire = 2 * s.HeaderBits
+	rep = Check([]trace.Event{bad, ack(trace.KindReceive, 2, 1)}, cfg)
+	if violations(t, rep, "framing") != 1 {
+		t.Fatal("oversized ack frame accepted")
+	}
+}
+
+// TestRetryChecks covers retransmission replay: retries obey the
+// framing model, carry an attempt number, and do not unbalance the
+// unicast flow (the original send already did the accounting).
+func TestRetryChecks(t *testing.T) {
+	s := msg.DefaultSizes()
+	cfg := Config{Sizes: s, HasSizes: true}
+	retry := trace.Event{
+		Kind: trace.KindRetry, Round: 0, Node: 1, Peer: 0, Cast: trace.Unicast,
+		Bits: 16, Wire: s.WireBits(16), Frames: s.Frames(16), Aux: 1,
+	}
+	rep := Check([]trace.Event{retry}, cfg)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("well-formed retry rejected: %v", err)
+	}
+	if rep.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", rep.Retries)
+	}
+	bad := retry
+	bad.Wire--
+	if violations(t, Check([]trace.Event{bad}, cfg), "framing") != 1 {
+		t.Fatal("mis-framed retry accepted")
+	}
+	bad = retry
+	bad.Aux = 0
+	if violations(t, Check([]trace.Event{bad}, cfg), "accounting") != 1 {
+		t.Fatal("attempt-zero retry accepted")
+	}
+}
+
+// TestLossyBroadcastRelaxation checks the lossy/faulty downlink mode:
+// broadcast drops become legal and truncated floods stop tripping the
+// per-flood shape accounting.
+func TestLossyBroadcastRelaxation(t *testing.T) {
+	cfg := Config{BroadcastSends: 3, BroadcastReceives: 3}
+	truncated := []trace.Event{
+		{Kind: trace.KindSend, Round: 0, Node: -1, Peer: -1, Cast: trace.Broadcast},
+		{Kind: trace.KindReceive, Round: 0, Node: 0, Cast: trace.Broadcast},
+		{Kind: trace.KindDrop, Round: 0, Node: 1, Peer: -1, Cast: trace.Broadcast},
+	}
+	if violations(t, Check(truncated, cfg), "accounting") != 2 {
+		t.Fatal("reliable mode should flag the drop and the truncated flood")
+	}
+	cfg.LossyBroadcast = true
+	if err := Check(truncated, cfg).Err(); err != nil {
+		t.Fatalf("lossy mode rejected a truncated flood: %v", err)
+	}
+}
+
 func countKind(rep Report, invariant string) int {
 	n := 0
 	for _, v := range rep.Violations {

@@ -52,6 +52,22 @@ const (
 	// the value interval [Value, Aux], asking for up to Values values
 	// per direction (Values < 0: unbounded).
 	KindRefine
+	// KindRetry is one ARQ retransmission of an unacknowledged hop:
+	// Node re-sends Bits of payload (Wire bits, Frames frames) to Peer,
+	// attempt number in Aux (1 = first retransmission).
+	KindRetry
+	// KindCrash marks a node failure (Aux = 1) or recovery (Aux = 0)
+	// taking effect at this round's start.
+	KindCrash
+	// KindReparent records a routing-tree repair: Node re-attaches to
+	// new parent Peer, leaving old parent Aux (-1 = the root).
+	KindReparent
+	// KindDegraded tags the round's answer as degraded: Value is the
+	// number of unreachable sensors, Values the alive-but-orphaned
+	// subset awaiting repair, Aux the staleness (rounds since full
+	// coverage), and Err the rank-error bound from the missing
+	// measurements.
+	KindDegraded
 )
 
 var kindNames = [...]string{
@@ -64,6 +80,10 @@ var kindNames = [...]string{
 	KindEnergy:     "energy",
 	KindDecision:   "decision",
 	KindRefine:     "refine",
+	KindRetry:      "retry",
+	KindCrash:      "crash",
+	KindReparent:   "reparent",
+	KindDegraded:   "degraded",
 }
 
 func (k Kind) String() string {
@@ -98,11 +118,17 @@ const (
 	// Broadcast is the root-to-leaves flood; one transmission reaches
 	// every child of the sender.
 	Broadcast
+	// Ack is a link-layer acknowledgement frame (ARQ); header-only
+	// traffic flowing parent to child.
+	Ack
 )
 
 func (c Cast) String() string {
-	if c == Broadcast {
+	switch c {
+	case Broadcast:
 		return "broadcast"
+	case Ack:
+		return "ack"
 	}
 	return "unicast"
 }
@@ -117,6 +143,8 @@ func (c *Cast) UnmarshalText(b []byte) error {
 		*c = Unicast
 	case "broadcast":
 		*c = Broadcast
+	case "ack":
+		*c = Ack
 	default:
 		return fmt.Errorf("trace: unknown cast %q", string(b))
 	}

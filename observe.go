@@ -179,10 +179,11 @@ func NewAlerts(rules string) (*Alerts, error) {
 //	expr   = metric [ ":" agg "(" window ")" ] cmp warn [ "," crit ]
 //	metric = frames | messages | joules | bits | validation_bits |
 //	         refinement_bits | shipping_bits | other_bits |
-//	         rank_error | refines | hot_joules | lifetime
+//	         rank_error | refines | retries | orphans |
+//	         hot_joules | lifetime
 //	agg    = last | mean | max | min | sum | p95 | rate | nz
 //	cmp    = ">" | ">=" | "<" | "<="
-//	preset = storm | burnrate | excursion
+//	preset = storm | burnrate | excursion | orphan
 func ParseAlertRules(spec string) ([]AlertRule, error) {
 	return alert.ParseRules(spec)
 }

@@ -13,11 +13,13 @@ import (
 // monitoring, visualization, or custom metrics. It wraps one run of the
 // configured study (Runs is ignored; use Run for averaged studies).
 type Simulation struct {
-	rt    *sim.Runtime
-	alg   protocol.Algorithm
-	k     int
-	round int
-	init  bool
+	rt     *sim.Runtime
+	alg    protocol.Algorithm
+	k      int
+	seed   int64
+	round  int
+	init   bool
+	faults bool
 }
 
 // RoundResult reports one simulation round.
@@ -34,6 +36,16 @@ type RoundResult struct {
 	FramesSent    int
 	Convergecasts int // convergecast phases executed
 	Broadcasts    int // broadcast phases executed
+
+	// Fault-mode status (zero without SetFaults): whether this round's
+	// answer was computed with incomplete sensor coverage, the rounds
+	// since the last fully covered answer, the alive-but-orphaned
+	// nodes awaiting tree repair, and whether the round replayed the
+	// protocol's initialization after repair or a desynchronization.
+	Degraded  bool
+	Staleness int
+	Orphans   int
+	Reinit    bool
 }
 
 // NewSimulation assembles one deployment (run index 0 of cfg) with the
@@ -51,7 +63,26 @@ func NewSimulation(cfg Config, alg Algorithm) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{rt: rt, alg: f(), k: icfg.K()}, nil
+	return &Simulation{rt: rt, alg: f(), k: icfg.K(), seed: icfg.Seed ^ 0xFA07}, nil
+}
+
+// SetFaults attaches a fault plan with the default ARQ recovery
+// configuration (sim.DefaultARQ: acknowledged hops, 3 retransmissions,
+// dead-parent detection after 2 silent rounds). Subsequent Steps
+// inject the scheduled faults and drive the recovery contract: after a
+// tree repair or a protocol desynchronization, the next Step replays
+// initialization over temporarily reliable links (RoundResult.Reinit
+// reports it). Call before the first Step; attaching twice is an
+// error.
+func (s *Simulation) SetFaults(p *FaultPlan) error {
+	if p == nil {
+		return fmt.Errorf("wsnq: nil fault plan")
+	}
+	if err := s.rt.SetFaults(p.plan, s.seed, sim.DefaultARQ()); err != nil {
+		return err
+	}
+	s.faults = true
+	return nil
 }
 
 // SetTrace attaches a flight recorder to the simulation (nil detaches):
@@ -82,16 +113,30 @@ func (s *Simulation) AlgorithmName() string { return s.alg.Name() }
 // reports the result.
 func (s *Simulation) Step() (RoundResult, error) {
 	var (
-		q   int
-		err error
+		q      int
+		err    error
+		reinit bool
 	)
+	replay := func() (int, error) {
+		s.rt.SetFaultReliable(true)
+		defer s.rt.SetFaultReliable(false)
+		return s.alg.Init(s.rt, s.k)
+	}
 	if !s.init {
-		q, err = s.alg.Init(s.rt, s.k)
+		q, err = replay()
 		s.init = true
 	} else {
 		s.rt.AdvanceRound()
 		s.round++
-		q, err = s.alg.Step(s.rt)
+		if s.faults && s.rt.ConsumeReinit() {
+			reinit = true
+			q, err = replay()
+		} else if q, err = s.alg.Step(s.rt); err != nil && s.faults {
+			// Faults desynchronized the protocol; replay initialization
+			// like the experiment engine does.
+			reinit = true
+			q, err = replay()
+		}
 	}
 	if err != nil {
 		return RoundResult{}, fmt.Errorf("round %d: %w", s.round, err)
@@ -110,6 +155,10 @@ func (s *Simulation) Step() (RoundResult, error) {
 		FramesSent:    st.FramesSent,
 		Convergecasts: st.Convergecasts,
 		Broadcasts:    st.Broadcasts,
+		Degraded:      s.rt.CoverageDeficit() > 0,
+		Staleness:     s.rt.Staleness(),
+		Orphans:       s.rt.Orphans(),
+		Reinit:        reinit,
 	}, nil
 }
 

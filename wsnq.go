@@ -49,6 +49,7 @@ import (
 	"wsnq/internal/data"
 	"wsnq/internal/energy"
 	"wsnq/internal/experiment"
+	"wsnq/internal/fault"
 	"wsnq/internal/msg"
 	"wsnq/internal/protocol"
 	"wsnq/internal/series"
@@ -313,6 +314,15 @@ type Metrics struct {
 	HotspotToMedianRatio float64
 	// Reinits counts loss-triggered re-initializations.
 	Reinits int
+	// DegradedRounds counts rounds answered with incomplete sensor
+	// coverage (zero unless WithFaults attaches a fault plan).
+	DegradedRounds int
+	// Repairs counts orphaned subtrees re-parented by routing-tree
+	// repair (zero without faults).
+	Repairs int
+	// RetriesPerRound is the mean number of ARQ retransmissions per
+	// round (zero without faults).
+	RetriesPerRound float64
 }
 
 func fromInternal(m experiment.Metrics) Metrics {
@@ -327,6 +337,9 @@ func fromInternal(m experiment.Metrics) Metrics {
 		Rounds:                m.Rounds,
 		MeanRankError:         m.MeanRankError,
 		Reinits:               m.Reinits,
+		DegradedRounds:        m.DegradedRounds,
+		Repairs:               m.Repairs,
+		RetriesPerRound:       m.RetriesPerRound,
 		EnergyGini:            m.EnergyGini,
 		HotspotToMedianRatio:  m.HotspotToMedianRatio,
 		PhaseBitsPerRound:     m.PhaseBitsPerRound,
@@ -362,6 +375,60 @@ func WithParallelism(n int) Option {
 // serialized; done increases by one per call.
 func WithProgress(fn func(done, total int)) Option {
 	return func(o *engineOptions) { o.exp.Progress = fn }
+}
+
+// FaultPlan is a parsed fault-injection schedule: node crash/recover
+// windows, Gilbert–Elliott bursty links, and sink-side partitions.
+// Build one with ParseFaultPlan and attach it with WithFaults (or
+// Simulation.SetFaults).
+type FaultPlan struct {
+	plan *fault.Plan
+}
+
+// ParseFaultPlan parses the fault DSL: semicolon-separated clauses
+//
+//	crash@R:nID          crash node ID at round R (forever)
+//	crash@R1-R2:nID      crash at R1, recover at R2 (window [R1,R2))
+//	burst(p=P,len=L):nID bursty loss on node ID's uplink (mean burst
+//	                     length L rounds, stationary loss share P)
+//	burst(p=P,len=L):link  the same on every link
+//	partition@R1-R2      disconnect the sink's own radio for [R1,R2)
+//
+// Deterministic given a seed: the same plan replays the same faults in
+// every run. See DESIGN.md §4f for the model.
+func ParseFaultPlan(spec string) (*FaultPlan, error) {
+	p, err := fault.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultPlan{plan: p}, nil
+}
+
+// String formats the plan back into the DSL it was parsed from
+// (normalized; reparsing yields an equivalent plan).
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.plan.String()
+}
+
+// WithFaults attaches a fault plan to the study: every simulation run
+// injects the scheduled crashes, bursty links, and partitions, and the
+// stack runs its recovery machinery — per-hop ACK/ARQ retransmissions
+// (charged through the energy ledger), timeout-based dead-parent
+// detection, routing-tree repair, and degraded answers while coverage
+// is incomplete (Metrics.DegradedRounds, Repairs, RetriesPerRound).
+// Fault timing derives from Config.Seed and the run index, so studies
+// stay reproducible at any parallelism. A nil plan detaches.
+func WithFaults(p *FaultPlan) Option {
+	return func(o *engineOptions) {
+		if p == nil {
+			o.exp.Faults = nil
+			return
+		}
+		o.exp.Faults = p.plan
+	}
 }
 
 // TraceEvent is one flight-recorder record (see internal/trace for the
