@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard chaos
+.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard chaos serve
 
 # help lists the targets; keep the `##` summaries next to the targets
 # they describe.
@@ -9,13 +9,14 @@ help:
 	@echo "wsnq targets:"
 	@echo "  build       compile every package and tool"
 	@echo "  test        run the full test suite"
-	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + chaos + fuzz-smoke"
+	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + chaos + serve + fuzz-smoke"
 	@echo "  vet         static analysis"
 	@echo "  race        full suite under the race detector"
 	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
 	@echo "  telemetry   registry race test and snapshot-determinism test under -race"
 	@echo "  alert       series ring race-hammer and alert rule-engine determinism"
 	@echo "  chaos       seeded crash+burst fault smoke of HBC and IQ under -race"
+	@echo "  serve       query-service gate: registry race hammer + seeded 1,000-query load smoke"
 	@echo "  fuzz-smoke  short fresh-input budget for every fuzz target"
 	@echo "  trace-guard disabled-tracer overhead vs the 2% budget (idle machine)"
 	@echo "  series-guard series-ingest overhead vs the 2% budget (idle machine)"
@@ -63,6 +64,16 @@ chaos:
 	$(GO) test -race -run '^TestDifferentialUnderFaults$$' -v ./internal/trace/oracle/
 	$(GO) test -race -run '^(TestRunWithFaults|TestSimulationSetFaults|TestGoldenRecoveryStudy)$$' -v .
 
+# serve gates the continuous query service: the registry's concurrent
+# register/advance/subscribe hammer under the race detector, the
+# HTTP-surface branch tests, and the seeded load smoke — 1,000 queries
+# multiplexed over one shared 60-node deployment, asserting nonzero
+# sustained throughput, zero dropped subscriber answers under quota,
+# and engaged series downsampling.
+serve:
+	$(GO) test -race -run '^(TestServeHammer|TestHandlerBranches|TestSubscribeBackpressure)$$' -v ./internal/serve/
+	$(GO) test -count=1 -run '^(TestServeDeterminism|TestServeLoadSmoke)$$' -v .
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on
 # top of the committed corpus (go test -fuzz accepts one target at a
 # time, hence one invocation per target).
@@ -88,8 +99,9 @@ series-guard:
 # check is the gate every change must pass: static analysis, the full
 # suite under the race detector (the parallel engine makes this the
 # interesting configuration), the oracle suite, the telemetry gate, the
-# observability gate, the chaos gate, and a fuzz smoke run.
-check: vet race oracle telemetry alert chaos fuzz-smoke
+# observability gate, the chaos gate, the query-service gate, and a
+# fuzz smoke run.
+check: vet race oracle telemetry alert chaos serve fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -112,6 +113,41 @@ func runBenchJSON(out string) error {
 		AllocsPerOp: seriesRes.AllocsPerOp(),
 	})
 
+	// The query service's registration path: what every POST /queries
+	// pays to admit a query and assemble its runtime over the shared
+	// deployment. Registered queries are deregistered in the same
+	// iteration so the registry size stays flat across b.N.
+	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring ServeRegisterQuery...")
+	serveRes := testing.Benchmark(func(b *testing.B) {
+		srv := wsnq.NewServer(wsnq.ServerConfig{})
+		fcfg := wsnq.DefaultConfig()
+		fcfg.Nodes = 60
+		fcfg.Area = 80
+		fcfg.RadioRange = 25
+		fcfg.Rounds = 1 << 20
+		fcfg.Runs = 1
+		if err := srv.AddFleet("fleet0", fcfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id, err := srv.Register(wsnq.QuerySpec{Fleet: "fleet0", Algorithm: wsnq.IQ, Phi: 0.9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Deregister(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f.Results = append(f.Results, benchfmt.Result{
+		Name:        "ServeRegisterQuery",
+		NsPerOp:     float64(serveRes.NsPerOp()),
+		BytesPerOp:  serveRes.AllocedBytesPerOp(),
+		AllocsPerOp: serveRes.AllocsPerOp(),
+	})
+
 	// One whole-study engine sample: a shared-deployment comparison of
 	// the standard line-up (no per-round interpretation).
 	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring EngineCompare...")
@@ -122,7 +158,7 @@ func runBenchJSON(out string) error {
 		cfg.Runs = 4
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := wsnq.Compare(cfg, wsnq.StandardAlgorithms()); err != nil {
+			if _, err := wsnq.CompareContext(context.Background(), cfg, wsnq.StandardAlgorithms()); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -20,7 +20,6 @@ package main
 
 import (
 	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,8 +52,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := cli.SignalContext(context.Background())
-	defer stop()
+	sess := cli.NewSession("wsnq-bench")
+	defer sess.Close()
+	ctx := sess.Context()
 
 	if *list {
 		for _, f := range wsnq.Figures() {
@@ -64,8 +64,7 @@ func main() {
 	}
 	if *jsonBench {
 		if err := runBenchJSON(*jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
-			os.Exit(1)
+			sess.Fatal(err)
 		}
 		return
 	}
@@ -89,11 +88,14 @@ func main() {
 			}
 		}
 	}
+	// One Observer bundles every requested sink; FigureOptions feeds it
+	// through the same engine path the deprecated per-field options used.
+	ob := &wsnq.Observer{}
+	opts.Observer = ob
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
-			os.Exit(1)
+			sess.Fatal(err)
 		}
 		bw := bufio.NewWriter(f)
 		defer func() {
@@ -105,46 +107,36 @@ func main() {
 				fmt.Fprintln(os.Stderr, "wsnq-bench: trace:", err)
 			}
 		}()
-		opts.Trace = wsnq.NewTraceJSONL(bw)
+		ob.Trace = wsnq.NewTraceJSONL(bw)
 	}
-	var alerts *wsnq.Alerts
 	if *alertSpec != "" {
 		var err error
-		if alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
-			os.Exit(1)
+		if ob.Alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
+			sess.Fatal(err)
 		}
-		opts.Alerts = alerts
 	}
 	if *faultSpec != "" {
 		plan, err := wsnq.ParseFaultPlan(*faultSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-bench:", err)
-			os.Exit(1)
+			sess.Fatal(err)
 		}
 		opts.Faults = plan
 	}
 	if *alertSpec != "" || *httpAddr != "" {
-		opts.Series = wsnq.NewSeries()
+		ob.Series = wsnq.NewSeries()
 	}
-	var tel *wsnq.Telemetry
 	if *httpAddr != "" {
-		tel = wsnq.NewTelemetry()
-		tel.AttachSeries(opts.Series)
-		tel.AttachAlerts(alerts)
-		if _, err := cli.ServeHTTP(ctx, "wsnq-bench", *httpAddr, tel.Handler()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		ob.Telemetry = wsnq.NewTelemetry()
+		if err := sess.Serve(*httpAddr, ob.Handler()); err != nil {
+			sess.Fatal(err)
 		}
-		opts.Telemetry = tel
 	}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		start := time.Now()
 		tables, err := wsnq.RunFigureContext(ctx, id, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsnq-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			sess.Fatalf("%s: %v", id, err)
 		}
 		for ti, t := range tables {
 			for _, m := range sels {
@@ -155,20 +147,17 @@ func main() {
 				fmt.Println(t.Format(m))
 				if *svgDir != "" {
 					if err := writeSVG(*svgDir, id, ti, m, t, *logY); err != nil {
-						fmt.Fprintf(os.Stderr, "wsnq-bench: %v\n", err)
-						os.Exit(1)
+						sess.Fatal(err)
 					}
 				}
 			}
 		}
 		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	if alerts != nil {
-		cli.PrintAlerts(os.Stdout, alerts.States(), alerts.Log())
+	if ob.Alerts != nil {
+		cli.PrintAlerts(os.Stdout, ob.Alerts.States(), ob.Alerts.Log())
 	}
-	if tel != nil {
-		cli.Linger(ctx, "wsnq-bench")
-	}
+	sess.Linger()
 }
 
 // writeSVG renders one table/metric chart into dir.

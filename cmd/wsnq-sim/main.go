@@ -13,7 +13,6 @@ package main
 
 import (
 	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,8 +51,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := cli.SignalContext(context.Background())
-	defer stop()
+	s := cli.NewSession("wsnq-sim")
+	defer s.Close()
+	ctx := s.Context()
 
 	cfg := wsnq.Config{
 		Nodes: *nodes, Area: *area, RadioRange: *radioRange,
@@ -70,8 +70,7 @@ func main() {
 			Kind: wsnq.PressureData, Skip: *skip, Pessimistic: *pessimistic,
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "wsnq-sim: unknown dataset %q\n", *dataset)
-		os.Exit(1)
+		s.Fatalf("unknown dataset %q", *dataset)
 	}
 
 	var algs []wsnq.Algorithm
@@ -101,43 +100,29 @@ func main() {
 	if *faultSpec != "" {
 		var err error
 		if plan, err = wsnq.ParseFaultPlan(*faultSpec); err != nil {
-			fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
-			os.Exit(1)
+			s.Fatal(err)
 		}
 		opts = append(opts, wsnq.WithFaults(plan))
 	}
-	var alerts *wsnq.Alerts
+	// One Observer bundles every requested sink: alert rules, the
+	// series store and telemetry behind -http, and the JSONL recorder.
+	ob := &wsnq.Observer{}
 	if *alertSpec != "" {
 		var err error
-		if alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
-			fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
-			os.Exit(1)
+		if ob.Alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
+			s.Fatal(err)
 		}
-		opts = append(opts, wsnq.WithAlertRules(alerts))
 	}
-	var ser *wsnq.Series
 	if *httpAddr != "" {
 		// A series store makes /series and /dashboard live.
-		ser = wsnq.NewSeries()
-		opts = append(opts, wsnq.WithSeries(ser))
-	}
-	var tel *wsnq.Telemetry
-	if *httpAddr != "" {
-		tel = wsnq.NewTelemetry()
-		tel.AttachSeries(ser)
-		tel.AttachAlerts(alerts)
-		if _, err := cli.ServeHTTP(ctx, "wsnq-sim", *httpAddr, tel.Handler()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		opts = append(opts, wsnq.WithTelemetry(tel))
+		ob.Series = wsnq.NewSeries()
+		ob.Telemetry = wsnq.NewTelemetry()
 	}
 	var flushTrace func() error
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
-			os.Exit(1)
+			s.Fatal(err)
 		}
 		bw := bufio.NewWriter(f)
 		flushTrace = func() error {
@@ -146,17 +131,19 @@ func main() {
 			}
 			return f.Close()
 		}
-		opts = append(opts, wsnq.WithTraceJSONL(bw))
+		ob.Trace = wsnq.NewTraceJSONL(bw)
+	}
+	opts = append(opts, wsnq.WithObserver(ob))
+	if err := s.Serve(*httpAddr, ob.Handler()); err != nil {
+		s.Fatal(err)
 	}
 	results, err := wsnq.CompareContext(ctx, cfg, algs, opts...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wsnq-sim: %v\n", err)
-		os.Exit(1)
+		s.Fatal(err)
 	}
 	if flushTrace != nil {
 		if err := flushTrace(); err != nil {
-			fmt.Fprintf(os.Stderr, "wsnq-sim: trace: %v\n", err)
-			os.Exit(1)
+			s.Fatalf("trace: %v", err)
 		}
 	}
 
@@ -176,17 +163,17 @@ func main() {
 		}
 	}
 
-	if alerts != nil {
+	if ob.Alerts != nil {
 		fmt.Println()
-		cli.PrintAlerts(os.Stdout, alerts.States(), alerts.Log())
+		cli.PrintAlerts(os.Stdout, ob.Alerts.States(), ob.Alerts.Log())
 	}
 
-	if tel != nil {
-		h := tel.Health()
+	if ob.Telemetry != nil {
+		h := ob.Telemetry.Health()
 		fmt.Printf("\nnetwork health: Jain(energy)=%.3f  hotspot node %d (%.0f%% of drain)  projected first death: %.0f rounds\n",
 			h.JainEnergy, h.Lifetime.HottestNode, 100*topShare(h), h.Lifetime.ProjectedRounds)
-		cli.Linger(ctx, "wsnq-sim")
 	}
+	s.Linger()
 }
 
 // topShare returns the hottest node's share of network energy.

@@ -13,7 +13,6 @@ package main
 
 import (
 	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -49,13 +48,12 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := cli.SignalContext(context.Background())
-	defer stop()
+	sess := cli.NewSession("wsnq-topology")
+	defer sess.Close()
 
 	cfg, err := buildConfig(*dataset, *nodes, *area, *radioRange, *seed, *bfs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wsnq-topology:", err)
-		os.Exit(1)
+		sess.Fatal(err)
 	}
 	top, err := build(cfg)
 	if err != nil {
@@ -110,9 +108,8 @@ func main() {
 		reg.Gauge("topology.nodes").Set(float64(top.N()))
 		reg.Gauge("topology.max_depth").Set(float64(top.MaxDepth()))
 		an = telemetry.NewAnalyzer(cfg.Energy.InitialBudget)
-		if _, err := cli.ServeHTTP(ctx, "wsnq-topology", *httpAddr, telemetry.Handler(reg, an, st, eng)); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := sess.Serve(*httpAddr, telemetry.Handler(reg, an, st, eng)); err != nil {
+			sess.Fatal(err)
 		}
 		collectors = append(collectors, an)
 	}
@@ -161,9 +158,7 @@ func main() {
 	if eng != nil {
 		cli.PrintAlerts(os.Stderr, eng.States(), eng.Log())
 	}
-	if an != nil {
-		cli.Linger(ctx, "wsnq-topology")
-	}
+	sess.Linger()
 }
 
 // buildConfig assembles the experiment cell these flags describe, run

@@ -14,7 +14,6 @@ package main
 
 import (
 	"bufio"
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,8 +35,9 @@ func main() {
 	)
 	flag.Parse()
 
-	ctx, stop := cli.SignalContext(context.Background())
-	defer stop()
+	sess := cli.NewSession("wsnq-trace")
+	defer sess.Close()
+	ctx := sess.Context()
 
 	cfg := wsnq.DefaultConfig()
 	cfg.Nodes = *nodes
@@ -48,29 +48,26 @@ func main() {
 
 	s, err := wsnq.NewSimulation(cfg, wsnq.IQ)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
-		os.Exit(1)
+		sess.Fatal(err)
 	}
 	if *faultSpec != "" {
 		plan, err := wsnq.ParseFaultPlan(*faultSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
-			os.Exit(1)
+			sess.Fatal(err)
 		}
 		if err := s.SetFaults(plan); err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
-			os.Exit(1)
+			sess.Fatal(err)
 		}
 	}
 
-	// The JSONL writer and the telemetry analyzer share the one trace
-	// hook through a fan-out collector.
-	var collectors []wsnq.TraceCollector
+	// One Observer bundles the JSONL writer, the alert rules (fed
+	// through the sampling series path), and the telemetry analyzer;
+	// its Collector renders them as the simulation's one trace hook.
+	ob := &wsnq.Observer{Key: "IQ"}
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
-			os.Exit(1)
+			sess.Fatal(err)
 		}
 		bw := bufio.NewWriter(f)
 		defer func() {
@@ -82,36 +79,26 @@ func main() {
 				fmt.Fprintln(os.Stderr, "wsnq-trace: events:", err)
 			}
 		}()
-		collectors = append(collectors, wsnq.NewTraceJSONL(bw))
+		ob.Trace = wsnq.NewTraceJSONL(bw)
 	}
-	var alerts *wsnq.Alerts
 	if *alertSpec != "" {
-		if alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
-			os.Exit(1)
+		if ob.Alerts, err = wsnq.NewAlerts(*alertSpec); err != nil {
+			sess.Fatal(err)
 		}
 	}
-	var ser *wsnq.Series
 	if *alertSpec != "" || *httpAddr != "" {
 		// The per-round series feeds the alert rules and the live
-		// /series and /dashboard endpoints. SeriesCollector samples the
-		// simulation's counters per round instead of counting events.
-		ser = wsnq.NewSeries()
-		collectors = append(collectors, s.SeriesCollector(ser, "IQ", alerts))
+		// /series and /dashboard endpoints.
+		ob.Series = wsnq.NewSeries()
 	}
-	var tel *wsnq.Telemetry
 	if *httpAddr != "" {
-		tel = wsnq.NewTelemetry()
-		tel.AttachSeries(ser)
-		tel.AttachAlerts(alerts)
-		if _, err := cli.ServeHTTP(ctx, "wsnq-trace", *httpAddr, tel.Handler()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		ob.Telemetry = wsnq.NewTelemetry()
+		if err := sess.Serve(*httpAddr, ob.Handler()); err != nil {
+			sess.Fatal(err)
 		}
-		collectors = append(collectors, tel.Collector())
 	}
-	if len(collectors) > 0 {
-		s.SetTrace(wsnq.MultiCollector(collectors...))
+	if c := ob.Collector(s, "IQ"); c != nil {
+		s.SetTrace(c)
 	}
 
 	if *format == "csv" {
@@ -129,8 +116,7 @@ func main() {
 		}
 		res, err := s.Step()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wsnq-trace:", err)
-			os.Exit(1)
+			sess.Fatal(err)
 		}
 		filter, xiL, xiR, _ := s.IQState()
 		readings := s.Readings()
@@ -190,10 +176,8 @@ func main() {
 		}
 	}
 	s.FinishTrace()
-	if alerts != nil {
-		cli.PrintAlerts(os.Stderr, alerts.States(), alerts.Log())
+	if ob.Alerts != nil {
+		cli.PrintAlerts(os.Stderr, ob.Alerts.States(), ob.Alerts.Log())
 	}
-	if tel != nil {
-		cli.Linger(ctx, "wsnq-trace")
-	}
+	sess.Linger()
 }

@@ -12,7 +12,6 @@ import (
 	"wsnq/internal/core"
 	"wsnq/internal/experiment"
 	"wsnq/internal/protocol"
-	"wsnq/internal/trace"
 )
 
 // Figure describes one reproducible artifact of the paper's evaluation
@@ -66,22 +65,35 @@ type FigureOptions struct {
 	// several sweeps (fig10, abl-tree, abl-energy) restart the count for
 	// each sweep table.
 	Progress func(done, total int)
-	// Trace, when non-nil, attaches a flight recorder to every
-	// simulation run of the figure, as in WithTrace. Tracing forces
-	// sequential execution in deterministic grid order.
+	// Observer bundles the figure's observability sinks — flight
+	// recorder, telemetry, per-round series, alert rules, series key
+	// prefix — as in WithObserver. Attaching a Trace, Series, or
+	// Alerts sink forces sequential execution in deterministic grid
+	// order; series keys are "<variant>/<algorithm>" (prefixed with
+	// Observer.Key when set).
+	Observer *Observer
+	// Trace attaches a flight recorder to every simulation run of the
+	// figure, as in WithTrace.
+	//
+	// Deprecated: Set Observer.Trace instead; a non-nil Observer field
+	// wins over this one.
 	Trace TraceCollector
-	// Telemetry, when non-nil, attaches a live telemetry sink, as in
-	// WithTelemetry: the engine feeds its metrics registry and the
-	// health analyzer consumes the flight-recorder stream (which, like
-	// Trace, forces sequential execution).
+	// Telemetry attaches a live telemetry sink, as in WithTelemetry.
+	//
+	// Deprecated: Set Observer.Telemetry instead; a non-nil Observer
+	// field wins over this one.
 	Telemetry *Telemetry
-	// Series, when non-nil, records the per-round phase-attributed time
-	// series of every run, as in WithSeries (forces sequential
-	// execution). Keys are "<variant>/<algorithm>".
+	// Series records the per-round phase-attributed time series of
+	// every run, as in WithSeries.
+	//
+	// Deprecated: Set Observer.Series instead; a non-nil Observer
+	// field wins over this one.
 	Series *Series
-	// Alerts, when non-nil, streams every run's per-round points through
-	// the alert rule engine, as in WithAlertRules (forces sequential
-	// execution).
+	// Alerts streams every run's per-round points through the alert
+	// rule engine, as in WithAlertRules.
+	//
+	// Deprecated: Set Observer.Alerts instead; a non-nil Observer
+	// field wins over this one.
 	Alerts *Alerts
 	// Faults, when non-nil, attaches the fault plan to every simulation
 	// run of the figure, as in WithFaults: scheduled crashes, bursty
@@ -90,32 +102,21 @@ type FigureOptions struct {
 }
 
 func (o *FigureOptions) engine() experiment.Options {
-	opts := experiment.Options{Parallelism: o.Parallelism, Progress: o.Progress}
+	var eo engineOptions
+	eo.exp.Parallelism = o.Parallelism
+	eo.exp.Progress = o.Progress
 	if o.Faults != nil {
-		opts.Faults = o.Faults.plan
+		eo.exp.Faults = o.Faults.plan
 	}
-	if o.Series != nil {
-		opts.Series = o.Series.store
+	// The deprecated per-sink fields apply first, then the Observer
+	// bundle slot by slot, so its non-nil fields win over the legacy
+	// ones — the same layering WithObserver gives the option path.
+	legacy := Observer{Trace: o.Trace, Telemetry: o.Telemetry, Series: o.Series, Alerts: o.Alerts}
+	legacy.apply(&eo)
+	if o.Observer != nil {
+		o.Observer.apply(&eo)
 	}
-	if o.Alerts != nil {
-		opts.Alerts = o.Alerts.eng
-	}
-	if o.Trace != nil {
-		c := o.Trace
-		opts.Trace = func(experiment.TraceJob) trace.Collector { return c }
-	}
-	if o.Telemetry != nil {
-		opts.Telemetry = o.Telemetry.reg
-		prev := opts.Trace
-		an := o.Telemetry.an
-		opts.Trace = func(j experiment.TraceJob) trace.Collector {
-			if prev == nil {
-				return an
-			}
-			return trace.Multi(prev(j), an)
-		}
-	}
-	return opts
+	return eo.finish()
 }
 
 func (o *FigureOptions) apply(cfg *experiment.Config) {

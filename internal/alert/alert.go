@@ -483,6 +483,27 @@ func (e *Engine) Log() []Event {
 	return append([]Event(nil), e.log...)
 }
 
+// LogSince returns the events that fired after an absolute cursor —
+// the value a previous call returned as next (0 reads from the
+// beginning) — and the new cursor to resume from. Cursors count every
+// event ever appended, so they stay valid across the bounded log's
+// oldest-half discards; events aged out before the cursor advanced are
+// simply gone. Streaming consumers (the serve layer's per-round
+// subscription updates) poll it instead of re-copying the whole log.
+func (e *Engine) LogSince(cursor int) (events []Event, next int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	next = e.dropped + len(e.log)
+	if cursor >= next {
+		return nil, next
+	}
+	from := cursor - e.dropped
+	if from < 0 {
+		from = 0
+	}
+	return append([]Event(nil), e.log[from:]...), next
+}
+
 // Dropped reports how many old events the bounded log has discarded.
 func (e *Engine) Dropped() int {
 	e.mu.Lock()

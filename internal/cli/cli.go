@@ -57,6 +57,77 @@ func Linger(ctx context.Context, tool string) {
 	<-ctx.Done()
 }
 
+// Session bundles the lifecycle every cmd tool shares — the
+// signal-cancelled context, the optional -http telemetry server, and
+// the post-work linger loop — so each tool stops hand-rolling the same
+// SignalContext/ServeHTTP/Linger sequence.
+//
+//	s := cli.NewSession("wsnq-sim")
+//	defer s.Close()
+//	if err := s.Serve(*httpAddr, handler); err != nil { s.Fatal(err) }
+//	... work with s.Context() ...
+//	s.Linger() // blocks until Ctrl-C, only if -http actually bound
+type Session struct {
+	tool    string
+	ctx     context.Context
+	stop    context.CancelFunc
+	serving bool
+}
+
+// NewSession starts a tool session: its context cancels on Ctrl-C
+// (SIGINT) or SIGTERM.
+func NewSession(tool string) *Session {
+	ctx, stop := SignalContext(context.Background())
+	return &Session{tool: tool, ctx: ctx, stop: stop}
+}
+
+// Context returns the session's signal-cancelled context.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Serve implements the shared -http flag on the session: an empty addr
+// is a no-op (the flag unset), otherwise h is served in the background
+// until the session ends and Linger will block. The bound address is
+// announced on stderr.
+func (s *Session) Serve(addr string, h http.Handler) error {
+	if addr == "" {
+		return nil
+	}
+	if _, err := ServeHTTP(s.ctx, s.tool, addr, h); err != nil {
+		return err
+	}
+	s.serving = true
+	return nil
+}
+
+// Serving reports whether Serve bound a listener.
+func (s *Session) Serving() bool { return s.serving }
+
+// Linger keeps the tool alive for its telemetry endpoints after the
+// work completes: it blocks until Ctrl-C when Serve bound a listener
+// and returns immediately otherwise.
+func (s *Session) Linger() {
+	if !s.serving {
+		return
+	}
+	Linger(s.ctx, s.tool)
+}
+
+// Close releases the signal handler; a later Ctrl-C kills the process
+// as usual.
+func (s *Session) Close() { s.stop() }
+
+// Fatal prints "tool: err" on stderr and exits 1.
+func (s *Session) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", s.tool, err)
+	os.Exit(1)
+}
+
+// Fatalf is Fatal with a format string.
+func (s *Session) Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", s.tool, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
 // FaultPlanUsage is the shared help text of the tools' -fault flag.
 const FaultPlanUsage = "semicolon-separated fault plan: crash@R[-R2]:nID, " +
 	"burst(p=P,len=L):nID|link, partition@R[-R2] (e.g. 'crash@120:n17; burst(p=0.3,len=8):link'; see DESIGN.md §4f)"

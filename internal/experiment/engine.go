@@ -61,6 +61,13 @@ type Options struct {
 	// grid order.
 	Series *series.Store
 
+	// KeyPrefix, when non-empty, prepends "<prefix>/" to every series
+	// key the engine writes (and streams through Alerts), so several
+	// studies can share one store — or one alert engine — without their
+	// keys colliding. It has no effect when neither Series nor Alerts
+	// is set.
+	KeyPrefix string
+
 	// Alerts, when non-nil, streams every job's raw per-round points
 	// through the alert rule engine (window state resets at each run
 	// boundary via StartRun). Implies the same sequential execution as
@@ -300,6 +307,9 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 		}
 		if cellLabels != nil && cellLabels[j.cell] != "" {
 			key = cellLabels[j.cell] + "/" + key
+		}
+		if opts.KeyPrefix != "" {
+			key = opts.KeyPrefix + "/" + key
 		}
 		return key
 	}

@@ -199,6 +199,39 @@ func (s *Store) append(key string, p Point) int {
 	return round
 }
 
+// Last returns key's freshest point — the partial pending span when
+// one is open, else the newest stored point. ok is false for an
+// unknown or empty key. Serving layers use it for "latest sample"
+// views without copying the whole series.
+func (s *Store) Last(key string) (Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.m[key]
+	if !ok {
+		return Point{}, false
+	}
+	if st.pending.Span > 0 {
+		return st.pending, true
+	}
+	if len(st.pts) == 0 {
+		return Point{}, false
+	}
+	return st.pts[len(st.pts)-1], true
+}
+
+// Rounds returns the total number of rounds ingested for key (0 for an
+// unknown key) and the current sampling stride — rounds per stored
+// point, doubling whenever the capacity bound forces a downsample.
+func (s *Store) Rounds(key string) (rounds, stride int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.m[key]
+	if !ok {
+		return 0, 1
+	}
+	return st.rounds, st.stride
+}
+
 // Keys returns the store's keys in sorted order.
 func (s *Store) Keys() []string {
 	s.mu.Lock()

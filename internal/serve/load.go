@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig parameterizes the load harness: how many queries to
+// register (spread over Clients client names), how many rounds of the
+// registry clock to drive while the read-side traffic runs, and how
+// many Zipf-distributed GET/subscribe operations to issue.
+type LoadConfig struct {
+	// Queries is the number of register operations (each a POST
+	// /queries); they spread round-robin over the fleets and
+	// algorithms below.
+	Queries int
+	// Clients is the number of distinct client names attributing the
+	// registrations; 0 means 8.
+	Clients int
+	// Rounds is how many times the harness ticks Registry.Advance
+	// after the register phase; 0 means 16.
+	Rounds int
+	// Reads is the number of GET /queries/{id} operations, targeting
+	// queries under a Zipf popularity law (a few hot queries absorb
+	// most reads, the realistic service skew); 0 means 2×Queries.
+	Reads int
+	// Subscribers is the number of streaming GET /queries/{id}/subscribe
+	// consumers held open across the advance phase, Zipf-targeted like
+	// Reads; 0 means Queries/10 (at least 1).
+	Subscribers int
+	// Fleets and Algorithms cycle through the registered specs.
+	// Empty defaults: fleet "fleet0"; algorithms HBC and IQ.
+	Fleets     []string
+	Algorithms []string
+	// Concurrency bounds the register/read worker pool; 0 means 16.
+	Concurrency int
+	// Seed fixes the Zipf stream.
+	Seed int64
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Registered  int           `json:"registered"`  // successful registrations
+	Rejected    int           `json:"rejected"`    // admission-control rejections
+	Reads       int           `json:"reads"`       // successful query reads
+	Subscribers int           `json:"subscribers"` // streams held open
+	Updates     int64         `json:"updates"`     // NDJSON updates received across streams
+	Rounds      int           `json:"rounds"`      // clock ticks driven
+	Dropped     int64         `json:"dropped_updates"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	// RegisterPerSec is the sustained registration throughput of the
+	// register phase alone; AnswersPerSec counts per-query round
+	// answers computed during the advance phase.
+	RegisterPerSec float64 `json:"register_per_sec"`
+	AnswersPerSec  float64 `json:"answers_per_sec"`
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf(
+		"load: %d queries registered (%d rejected) at %.0f/s; %d rounds × %d queries = %.0f answers/s; %d reads, %d streams, %d stream updates, %d dropped",
+		r.Registered, r.Rejected, r.RegisterPerSec, r.Rounds, r.Registered, r.AnswersPerSec, r.Reads, r.Subscribers, r.Updates, r.Dropped)
+}
+
+// Clock is the slice of a registry the load harness drives directly
+// (everything else goes over HTTP). Both *Registry and the public
+// wsnq.Server satisfy it.
+type Clock interface {
+	Advance() int
+	Dropped() int64
+}
+
+// RunLoad drives a registry through its real HTTP surface: a worker
+// pool registers cfg.Queries specs over POST /queries, Zipf-skewed
+// readers poll GET /queries/{id}, streaming subscribers hold NDJSON
+// connections open, and the harness ticks the registry's round clock
+// cfg.Rounds times underneath the traffic. baseURL addresses the
+// served Handler (e.g. "http://127.0.0.1:8080"); the clock drives the
+// rounds and reads the dropped counter, mirroring how wsnq-serve owns
+// both.
+func RunLoad(ctx context.Context, reg Clock, baseURL string, cfg LoadConfig) (LoadReport, error) {
+	if cfg.Queries <= 0 {
+		return LoadReport{}, fmt.Errorf("serve: load needs Queries > 0")
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 16
+	}
+	if cfg.Reads == 0 {
+		cfg.Reads = 2 * cfg.Queries
+	}
+	if cfg.Subscribers == 0 {
+		if cfg.Subscribers = cfg.Queries / 10; cfg.Subscribers < 1 {
+			cfg.Subscribers = 1
+		}
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+	if len(cfg.Fleets) == 0 {
+		cfg.Fleets = []string{"fleet0"}
+	}
+	if len(cfg.Algorithms) == 0 {
+		cfg.Algorithms = []string{"HBC", "IQ"}
+	}
+	client := &http.Client{}
+	var report LoadReport
+	start := time.Now()
+
+	// Phase 1: concurrent registration. IDs are assigned client-side
+	// ("load<i>") so the Zipf read phase can target them without
+	// parsing responses.
+	var registered, rejected atomic.Int64
+	regStart := time.Now()
+	var wg sync.WaitGroup
+	work := make(chan int)
+	var firstErr atomic.Value
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				spec := Spec{
+					ID:        fmt.Sprintf("load%d", i),
+					Client:    fmt.Sprintf("client%d", i%cfg.Clients),
+					Fleet:     cfg.Fleets[i%len(cfg.Fleets)],
+					Algorithm: cfg.Algorithms[i%len(cfg.Algorithms)],
+					Phi:       0.25 + 0.5*float64(i%3)/2, // 0.25, 0.5, 0.75
+				}
+				body, _ := json.Marshal(spec)
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/queries", bytes.NewReader(body))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusCreated:
+					registered.Add(1)
+				case http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					firstErr.CompareAndSwap(nil, fmt.Errorf("serve: load register: status %d", resp.StatusCode))
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < cfg.Queries && ctx.Err() == nil; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return report, err
+	}
+	regElapsed := time.Since(regStart)
+	report.Registered = int(registered.Load())
+	report.Rejected = int(rejected.Load())
+	if s := regElapsed.Seconds(); s > 0 {
+		report.RegisterPerSec = float64(report.Registered) / s
+	}
+
+	// Phase 2: hold Zipf-targeted subscriber streams open, then tick
+	// the round clock with readers polling concurrently.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(maxInt(report.Registered-1, 0)))
+	pick := func() string { return fmt.Sprintf("load%d", zipf.Uint64()) }
+
+	subCtx, cancelSubs := context.WithCancel(ctx)
+	defer cancelSubs()
+	var updates atomic.Int64
+	var subWG sync.WaitGroup
+	for i := 0; i < cfg.Subscribers; i++ {
+		id := pick()
+		req, err := http.NewRequestWithContext(subCtx, http.MethodGet, baseURL+"/queries/"+id+"/subscribe", nil)
+		if err != nil {
+			return report, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return report, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return report, fmt.Errorf("serve: load subscribe %s: status %d", id, resp.StatusCode)
+		}
+		report.Subscribers++
+		subWG.Add(1)
+		go func(body io.ReadCloser) {
+			defer subWG.Done()
+			defer body.Close()
+			dec := json.NewDecoder(body)
+			for {
+				var u Update
+				if err := dec.Decode(&u); err != nil {
+					return
+				}
+				updates.Add(1)
+			}
+		}(resp.Body)
+	}
+
+	advStart := time.Now()
+	var readErr atomic.Value
+	var readWG sync.WaitGroup
+	var reads atomic.Int64
+	readWork := make(chan string)
+	for w := 0; w < cfg.Concurrency; w++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for id := range readWork {
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/queries/"+id, nil)
+				if err != nil {
+					readErr.CompareAndSwap(nil, err)
+					return
+				}
+				resp, err := client.Do(req)
+				if err != nil {
+					readErr.CompareAndSwap(nil, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					reads.Add(1)
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(readWork)
+		for i := 0; i < cfg.Reads && ctx.Err() == nil; i++ {
+			readWork <- pick()
+		}
+	}()
+	var answers int64
+	for i := 0; i < cfg.Rounds && ctx.Err() == nil; i++ {
+		answers += int64(reg.Advance())
+		report.Rounds++
+	}
+	readWG.Wait()
+	advElapsed := time.Since(advStart)
+	// Give in-flight streams a beat to drain the final round, then
+	// hang up.
+	time.Sleep(20 * time.Millisecond)
+	cancelSubs()
+	subWG.Wait()
+	if err, _ := readErr.Load().(error); err != nil {
+		return report, err
+	}
+
+	report.Reads = int(reads.Load())
+	report.Updates = updates.Load()
+	report.Dropped = reg.Dropped()
+	report.Elapsed = time.Since(start)
+	if s := advElapsed.Seconds(); s > 0 {
+		report.AnswersPerSec = float64(answers) / s
+	}
+	return report, ctx.Err()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

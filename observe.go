@@ -97,12 +97,15 @@ func (sim *Simulation) SeriesCollector(ser *Series, key string, a *Alerts) Trace
 // WithTrace it forces strictly sequential execution in deterministic
 // grid order, so each key's rounds append reproducibly. A nil s is
 // ignored.
+//
+// Deprecated: Use WithObserver(&Observer{Series: s}); Observer bundles
+// every observability sink into one composable value.
 func WithSeries(s *Series) Option {
 	return func(o *engineOptions) {
 		if s == nil {
 			return
 		}
-		o.exp.Series = s.store
+		(&Observer{Series: s}).apply(o)
 	}
 }
 
@@ -211,11 +214,14 @@ func (a *Alerts) SetThrottle(n int) { a.eng.SetThrottle(n) }
 // deterministic grid order, making the alert log reproducible for a
 // fixed seed. Combine with WithSeries to also retain the series the
 // rules saw. A nil a is ignored.
+//
+// Deprecated: Use WithObserver(&Observer{Alerts: a}); Observer bundles
+// every observability sink into one composable value.
 func WithAlertRules(a *Alerts) Option {
 	return func(o *engineOptions) {
 		if a == nil {
 			return
 		}
-		o.exp.Alerts = a.eng
+		(&Observer{Alerts: a}).apply(o)
 	}
 }

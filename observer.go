@@ -1,0 +1,131 @@
+package wsnq
+
+import (
+	"net/http"
+
+	"wsnq/internal/alert"
+	"wsnq/internal/experiment"
+	"wsnq/internal/series"
+	"wsnq/internal/telemetry"
+	"wsnq/internal/trace"
+)
+
+// Observer bundles every observability sink a study or a served query
+// can attach — the flight recorder, the live telemetry surface, the
+// per-round time series, the streaming alert rules, and the series key
+// prefix that namespaces them — into one composable value. It replaces
+// the accreted WithTrace/WithTelemetry/WithSeries/WithAlertRules
+// option zoo with a single contract used identically by:
+//
+//   - studies: wsnq.Run(cfg, alg, wsnq.WithObserver(o))
+//   - figures: FigureOptions{Observer: o}
+//   - live simulations: sim.SetTrace(o.Collector(sim, key))
+//   - the query server: QuerySpec{Observer: o} (per-query isolation)
+//
+// Any field may be nil (or empty); only the bundled sinks attach.
+// Attaching a Trace, Series, or Alerts sink forces strictly sequential
+// study execution in deterministic grid order, exactly as the
+// individual options did.
+type Observer struct {
+	// Trace receives the raw flight-recorder event stream.
+	Trace TraceCollector
+	// Telemetry feeds the live metrics registry and network-health
+	// analyzer (and provides the HTTP surface — see Handler).
+	Telemetry *Telemetry
+	// Series records bounded per-round time series.
+	Series *Series
+	// Alerts streams every round through declarative alert rules.
+	Alerts *Alerts
+	// Key namespaces the series keys this observer writes: studies
+	// prefix every engine key with "Key/", and served queries use it
+	// verbatim as the query's series key.
+	Key string
+}
+
+// apply folds the bundle into the engine options; nil fields leave the
+// corresponding slot untouched, so observers compose with earlier
+// options.
+func (ob *Observer) apply(o *engineOptions) {
+	if ob.Trace != nil {
+		c := ob.Trace
+		o.exp.Trace = func(experiment.TraceJob) trace.Collector { return c }
+	}
+	if ob.Telemetry != nil {
+		o.exp.Telemetry = ob.Telemetry.reg
+		o.health = ob.Telemetry.an
+	}
+	if ob.Series != nil {
+		o.exp.Series = ob.Series.store
+	}
+	if ob.Alerts != nil {
+		o.exp.Alerts = ob.Alerts.eng
+	}
+	if ob.Key != "" {
+		o.exp.KeyPrefix = ob.Key
+	}
+}
+
+// Collector renders the bundle as one flight-recorder collector for a
+// live simulation (Simulation.SetTrace): the raw Trace collector, the
+// health analyzer, and the sampling series/alert path fan out from a
+// single dispatch. key labels the series ("" uses the observer's Key,
+// then "sim"); call sim.FinishTrace after the last Step so the final
+// round flushes. An observer with no stream consumers returns nil,
+// which detaches.
+func (ob *Observer) Collector(sim *Simulation, key string) TraceCollector {
+	if key == "" {
+		if key = ob.Key; key == "" {
+			key = "sim"
+		}
+	}
+	cs := []TraceCollector{ob.Trace}
+	if ob.Telemetry != nil {
+		cs = append(cs, ob.Telemetry.Collector())
+	}
+	if ob.Series != nil || ob.Alerts != nil {
+		ser := ob.Series
+		if ser == nil {
+			// Alerts alone still need per-round points; derive them
+			// through a minimal throwaway store, like the engine does.
+			ser = &Series{store: series.New(1)}
+		}
+		cs = append(cs, sim.SeriesCollector(ser, key, ob.Alerts))
+	}
+	return MultiCollector(cs...)
+}
+
+// Handler returns the bundle's HTTP exposition surface: the telemetry
+// endpoints when Telemetry is set (with the bundled series and alerts
+// attached), else a reduced surface serving just /series, /alerts, and
+// /dashboard from the bundled stores. Endpoints without a backing sink
+// answer 404.
+func (ob *Observer) Handler() http.Handler {
+	if ob.Telemetry != nil {
+		ob.Telemetry.AttachSeries(ob.Series)
+		ob.Telemetry.AttachAlerts(ob.Alerts)
+		return ob.Telemetry.Handler()
+	}
+	var st *series.Store
+	if ob.Series != nil {
+		st = ob.Series.store
+	}
+	var eng *alert.Engine
+	if ob.Alerts != nil {
+		eng = ob.Alerts.eng
+	}
+	return telemetry.Handler(nil, nil, st, eng)
+}
+
+// WithObserver attaches an observer bundle to the study: every non-nil
+// sink in o attaches exactly as its deprecated standalone option
+// would, and o.Key prefixes the study's series keys. A nil o is
+// ignored. Later options (or a later observer) override earlier ones
+// slot by slot.
+func WithObserver(o *Observer) Option {
+	return func(eo *engineOptions) {
+		if o == nil {
+			return
+		}
+		o.apply(eo)
+	}
+}

@@ -445,14 +445,18 @@ type TraceCollector = trace.Collector
 // WithTrace attaches a flight recorder to the study: c receives the
 // event stream of every simulation run. Tracing forces strictly
 // sequential execution in deterministic grid order, so a shared
-// collector never sees interleaved runs.
+// collector never sees interleaved runs. A nil c detaches a
+// previously set recorder.
+//
+// Deprecated: Use WithObserver(&Observer{Trace: c}); Observer bundles
+// every observability sink into one composable value.
 func WithTrace(c TraceCollector) Option {
 	return func(o *engineOptions) {
 		if c == nil {
 			o.exp.Trace = nil
 			return
 		}
-		o.exp.Trace = func(experiment.TraceJob) trace.Collector { return c }
+		(&Observer{Trace: c}).apply(o)
 	}
 }
 
@@ -582,13 +586,15 @@ func (t *Telemetry) Serve(ctx context.Context, addr string) (string, error) {
 // flight-recorder stream, so — like WithTrace — attaching telemetry
 // forces strictly sequential execution in deterministic grid order.
 // A nil t is ignored.
+//
+// Deprecated: Use WithObserver(&Observer{Telemetry: t}); Observer
+// bundles every observability sink into one composable value.
 func WithTelemetry(t *Telemetry) Option {
 	return func(o *engineOptions) {
 		if t == nil {
 			return
 		}
-		o.exp.Telemetry = t.reg
-		o.health = t.an
+		(&Observer{Telemetry: t}).apply(o)
 	}
 }
 
@@ -599,6 +605,14 @@ func resolveOptions(opts []Option) experiment.Options {
 			opt(&o)
 		}
 	}
+	return o.finish()
+}
+
+// finish resolves the collected options into engine options: the
+// health analyzer (an event-stream consumer like any trace collector)
+// merges into the trace chain last, so it observes every run whichever
+// order the options were applied in.
+func (o *engineOptions) finish() experiment.Options {
 	if o.health != nil {
 		prev := o.exp.Trace
 		o.exp.Trace = func(j experiment.TraceJob) trace.Collector {
@@ -632,8 +646,9 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, opts ...Option) 
 }
 
 // Run executes the configured study for one algorithm and returns the
-// metrics averaged over all runs. It delegates to RunContext with a
-// background context.
+// metrics averaged over all runs. It is a one-line wrapper over
+// RunContext with a background context; use RunContext directly for
+// cancellation.
 func Run(cfg Config, alg Algorithm, opts ...Option) (Metrics, error) {
 	return RunContext(context.Background(), cfg, alg, opts...)
 }
@@ -659,7 +674,25 @@ func (rs CompareResults) Get(alg Algorithm) (Metrics, bool) {
 	return Metrics{}, false
 }
 
+// Algorithms returns the compared algorithms in result order, so
+// callers can iterate deterministically without ever touching a map:
+//
+//	for _, alg := range res.Algorithms() {
+//		m, _ := res.Get(alg)
+//		...
+//	}
+func (rs CompareResults) Algorithms() []Algorithm {
+	out := make([]Algorithm, len(rs))
+	for i, r := range rs {
+		out[i] = r.Algorithm
+	}
+	return out
+}
+
 // Map returns the results keyed by algorithm.
+//
+// Deprecated: Map iteration order is nondeterministic; range over the
+// ordered CompareResults (or Algorithms + Get) instead.
 func (rs CompareResults) Map() map[Algorithm]Metrics {
 	out := make(map[Algorithm]Metrics, len(rs))
 	for _, r := range rs {
@@ -702,9 +735,13 @@ func CompareContext(ctx context.Context, cfg Config, algs []Algorithm, opts ...O
 
 // Compare runs several algorithms on identical deployments (same
 // topologies, same measurements — see CompareContext for how that is
-// guaranteed) and returns their metrics keyed by algorithm. It
-// delegates to CompareContext with a background context; use
-// CompareContext directly for cancellation or order-preserving results.
+// guaranteed) and returns their metrics keyed by algorithm. It is a
+// one-line wrapper over CompareContext with a background context.
+//
+// Deprecated: Use CompareContext. It returns the ordered
+// CompareResults — deterministic iteration, Get and Algorithms
+// accessors — and supports cancellation; this map-returning form
+// survives only for existing callers.
 func Compare(cfg Config, algs []Algorithm, opts ...Option) (map[Algorithm]Metrics, error) {
 	res, err := CompareContext(context.Background(), cfg, algs, opts...)
 	if err != nil {
