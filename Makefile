@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard chaos serve
+.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard chaos serve scenario
 
 # help lists the targets; keep the `##` summaries next to the targets
 # they describe.
@@ -9,7 +9,7 @@ help:
 	@echo "wsnq targets:"
 	@echo "  build       compile every package and tool"
 	@echo "  test        run the full test suite"
-	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + chaos + serve + fuzz-smoke"
+	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + chaos + serve + scenario + fuzz-smoke"
 	@echo "  vet         static analysis"
 	@echo "  race        full suite under the race detector"
 	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
@@ -17,6 +17,8 @@ help:
 	@echo "  alert       series ring race-hammer and alert rule-engine determinism"
 	@echo "  chaos       seeded crash+burst fault smoke of HBC and IQ under -race"
 	@echo "  serve       query-service gate: registry race hammer + seeded 1,000-query load smoke"
+	@echo "  scenario    golden-scenario gate: DSL round-trips, pinned replay digests,"
+	@echo "              live-vs-replay differential, replay speedup, fleet boot"
 	@echo "  fuzz-smoke  short fresh-input budget for every fuzz target"
 	@echo "  trace-guard disabled-tracer overhead vs the 2% budget (idle machine)"
 	@echo "  series-guard series-ingest overhead vs the 2% budget (idle machine)"
@@ -74,6 +76,16 @@ serve:
 	$(GO) test -race -run '^(TestServeHammer|TestHandlerBranches|TestSubscribeBackpressure)$$' -v ./internal/serve/
 	$(GO) test -count=1 -run '^(TestServeDeterminism|TestServeLoadSmoke)$$' -v .
 
+# scenario gates the golden scenarios: the DSL parser/printer
+# round-trip suite, the committed recordings replaying to their pinned
+# outcome digests, the live-vs-replay differential, the replay speedup
+# floor, and the scenario-booted server fleet matching a standalone
+# run. Regenerate recordings with WSNQ_REGEN=1 after an intentional
+# behavior change.
+scenario:
+	$(GO) test -run '^Test' -v ./internal/scenario/
+	$(GO) test -count=1 -run '^(TestGoldenScenarioReplays|TestScenarioLiveReplayDifferential|TestScenarioReplaySpeedup|TestScenarioServe|TestScenarioSimulationFaults)$$' -v .
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on
 # top of the committed corpus (go test -fuzz accepts one target at a
 # time, hence one invocation per target).
@@ -83,6 +95,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzHistogramCodec$$' -fuzztime $(FUZZTIME) ./internal/protocol/
 	$(GO) test -run '^$$' -fuzz '^FuzzBucketsIndex$$' -fuzztime $(FUZZTIME) ./internal/protocol/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/fault/
+	$(GO) test -run '^$$' -fuzz '^FuzzParseScenario$$' -fuzztime $(FUZZTIME) ./internal/scenario/
 
 # trace-guard measures the disabled flight recorder against the
 # pre-instrumentation hot path and fails beyond the 2% budget. Timing
@@ -99,9 +112,13 @@ series-guard:
 # check is the gate every change must pass: static analysis, the full
 # suite under the race detector (the parallel engine makes this the
 # interesting configuration), the oracle suite, the telemetry gate, the
-# observability gate, the chaos gate, the query-service gate, and a
-# fuzz smoke run.
-check: vet race oracle telemetry alert chaos serve fuzz-smoke
+# observability gate, the chaos gate, the query-service gate, the
+# golden-scenario gate, and a fuzz smoke run. staticcheck is advisory:
+# it runs when installed and is skipped (with a note) when not, so the
+# gate stays dependency-free.
+check: vet race oracle telemetry alert chaos serve scenario fuzz-smoke
+	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... \
+		|| echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"
 
 bench:
 	$(GO) test -bench . -benchmem .

@@ -59,6 +59,8 @@ func main() {
 		subBuffer   = flag.Int("sub-buffer", 0, "per-subscription channel depth before drop-oldest (0 = default 16)")
 		workers     = flag.Int("workers", 0, "query stepping pool size per round (0 = one per CPU)")
 
+		scenarioFile = flag.String("scenario", "", cli.ScenarioUsage+" — boots the fleet(s) from the scenario's deployment instead of the fleet flags")
+
 		load     = flag.Bool("load", false, "run the in-process load harness instead of serving")
 		loadQ    = flag.Int("load-queries", 1000, "load: queries to register")
 		loadR    = flag.Int("load-rounds", 16, "load: rounds to tick under traffic")
@@ -87,6 +89,18 @@ func main() {
 	default:
 		sess.Fatalf("unknown dataset %q", *dataset)
 	}
+	var sc *wsnq.Scenario
+	if *scenarioFile != "" {
+		src, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			sess.Fatal(err)
+		}
+		if sc, err = wsnq.ParseScenario(string(src)); err != nil {
+			sess.Fatal(err)
+		}
+		cfg.Nodes = sc.Nodes()
+		cfg.Phi = sc.Phi()
+	}
 
 	// The server-wide Observer backs the telemetry fall-through: query
 	// routes are handled first, everything else (/metrics, /health,
@@ -103,9 +117,18 @@ func main() {
 	fleets := make([]string, 0, *fleetN)
 	for i := 0; i < *fleetN; i++ {
 		name := fmt.Sprintf("fleet%d", i)
-		fcfg := cfg
-		fcfg.Seed = *seed + int64(i)
-		if err := srv.AddFleet(name, fcfg); err != nil {
+		var err error
+		if sc != nil {
+			// Scenario boot: every fleet shares the scenario's deployment
+			// (topology, data source, seed) — queries bring their own
+			// algorithms and alert rules.
+			err = srv.AddFleetScenario(name, sc)
+		} else {
+			fcfg := cfg
+			fcfg.Seed = *seed + int64(i)
+			err = srv.AddFleet(name, fcfg)
+		}
+		if err != nil {
 			sess.Fatal(err)
 		}
 		fleets = append(fleets, name)

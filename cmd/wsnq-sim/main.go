@@ -9,6 +9,9 @@
 //	wsnq-sim -nodes 40 -rounds 25 -runs 1 -alg IQ -trace run.jsonl
 //	wsnq-sim -rounds 250 -runs 20 -http :8080   # live /metrics, /health, /series, /alerts, /dashboard
 //	wsnq-sim -loss 0.05 -alg HBC,IQ -alert storm   # warn on refinement storms
+//	wsnq-sim -scenario testdata/scenarios/lossy-storm.scn          # run a scenario file
+//	wsnq-sim -scenario storm.scn -record storm.rec.jsonl           # ...and capture a recording
+//	wsnq-sim -replay storm.rec.jsonl                               # replay it offline, bit-identically
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"wsnq"
@@ -48,12 +52,31 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof; forces sequential runs)")
 		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
 		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
+
+		scenarioFile = flag.String("scenario", "", cli.ScenarioUsage)
+		recordFile   = flag.String("record", "", "with -scenario: capture a replayable JSONL recording to FILE")
+		replayFile   = flag.String("replay", "", "replay a -record recording offline (no simulation) and print its outcome")
 	)
 	flag.Parse()
 
 	s := cli.NewSession("wsnq-sim")
 	defer s.Close()
 	ctx := s.Context()
+
+	if *replayFile != "" {
+		if *scenarioFile != "" || *recordFile != "" {
+			s.Fatalf("-replay is exclusive with -scenario and -record")
+		}
+		replayRecording(s, *replayFile)
+		return
+	}
+	if *scenarioFile != "" {
+		runScenario(s, *scenarioFile, *recordFile)
+		return
+	}
+	if *recordFile != "" {
+		s.Fatalf("-record needs -scenario")
+	}
 
 	cfg := wsnq.Config{
 		Nodes: *nodes, Area: *area, RadioRange: *radioRange,
@@ -174,6 +197,100 @@ func main() {
 			h.JainEnergy, h.Lifetime.HottestNode, 100*topShare(h), h.Lifetime.ProjectedRounds)
 	}
 	s.Linger()
+}
+
+// runScenario executes a scenario file (optionally capturing a
+// recording) and prints the per-key metrics, alerts, and outcome hash.
+func runScenario(s *cli.Session, path, recordPath string) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		s.Fatal(err)
+	}
+	sc, err := wsnq.ParseScenario(string(src))
+	if err != nil {
+		s.Fatal(err)
+	}
+	fmt.Printf("scenario %s (sha256 %.12s…)  |N|=%d  φ=%.2f  %d rounds × %d runs  %s\n\n",
+		sc.Name(), sc.Hash(), sc.Nodes(), sc.Phi(), sc.Rounds(), sc.Runs(),
+		joinAlgorithms(sc.Algorithms()))
+
+	var out *wsnq.ScenarioOutcome
+	if recordPath != "" {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			s.Fatal(err)
+		}
+		bw := bufio.NewWriter(f)
+		out, err = wsnq.RecordScenario(s.Context(), sc, bw)
+		if err != nil {
+			s.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			s.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			s.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wsnq-sim: recording written to %s\n", recordPath)
+	} else {
+		if out, err = wsnq.RunScenario(s.Context(), sc); err != nil {
+			s.Fatal(err)
+		}
+	}
+	printOutcome(out)
+}
+
+// replayRecording replays a recording offline and prints the
+// reconstructed outcome — the hash matches the recorded live run's.
+func replayRecording(s *cli.Session, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		s.Fatal(err)
+	}
+	defer f.Close()
+	out, err := wsnq.ReplayRecording(bufio.NewReader(f))
+	if err != nil {
+		s.Fatal(err)
+	}
+	fmt.Printf("replayed %s\n\n", path)
+	printOutcome(out)
+}
+
+// printOutcome renders a scenario outcome: per-key metrics (live runs
+// only), the alert log, and the replay-invariant outcome hash.
+func printOutcome(out *wsnq.ScenarioOutcome) {
+	metrics := out.Metrics()
+	if len(metrics) > 0 {
+		keys := make([]string, 0, len(metrics))
+		for k := range metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("%-16s %14s %12s %12s %10s\n",
+			"key", "energy[µJ/rnd]", "lifetime", "frames/rnd", "rank err")
+		for _, k := range keys {
+			m := metrics[k]
+			fmt.Printf("%-16s %14.1f %12.0f %12.1f %10.2f\n",
+				k, m.MaxNodeEnergyPerRound*1e6, m.LifetimeRounds, m.FramesPerRound, m.MeanRankError)
+		}
+	}
+	series := out.Series()
+	verdicts := out.Verdicts()
+	fmt.Printf("\n%d series keys, %d verdicts, %d alert events\n",
+		len(series), len(verdicts), len(out.Alerts()))
+	if log := out.Alerts(); len(log) > 0 {
+		fmt.Print(log.String())
+	}
+	fmt.Printf("outcome sha256 %s\n", out.Hash())
+}
+
+// joinAlgorithms renders an algorithm line-up for the banner.
+func joinAlgorithms(algs []wsnq.Algorithm) string {
+	parts := make([]string, len(algs))
+	for i, a := range algs {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, ",")
 }
 
 // topShare returns the hottest node's share of network energy.

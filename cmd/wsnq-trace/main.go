@@ -32,6 +32,8 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof)")
 		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
 		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
+
+		scenarioFile = flag.String("scenario", "", cli.ScenarioUsage+" — traces the scenario's first algorithm over its deployment (overrides -nodes/-rounds/-seed/-fault)")
 	)
 	flag.Parse()
 
@@ -39,31 +41,58 @@ func main() {
 	defer sess.Close()
 	ctx := sess.Context()
 
-	cfg := wsnq.DefaultConfig()
-	cfg.Nodes = *nodes
-	cfg.Rounds = *rounds
-	cfg.Runs = 1
-	cfg.Seed = *seed
-	cfg.Dataset = wsnq.Dataset{Kind: wsnq.PressureData}
-
-	s, err := wsnq.NewSimulation(cfg, wsnq.IQ)
-	if err != nil {
-		sess.Fatal(err)
-	}
-	if *faultSpec != "" {
-		plan, err := wsnq.ParseFaultPlan(*faultSpec)
-		if err != nil {
+	var (
+		s      *wsnq.Simulation
+		err    error
+		simKey = "IQ"
+	)
+	if *scenarioFile != "" {
+		if *faultSpec != "" {
+			sess.Fatalf("-fault conflicts with -scenario (put the fault plan in the scenario file)")
+		}
+		src, rerr := os.ReadFile(*scenarioFile)
+		if rerr != nil {
+			sess.Fatal(rerr)
+		}
+		sc, perr := wsnq.ParseScenario(string(src))
+		if perr != nil {
+			sess.Fatal(perr)
+		}
+		// The scenario's deployment, fault plan, and ARQ settings carry
+		// over; the strip chart runs its first algorithm for its rounds.
+		if s, err = wsnq.NewScenarioSimulation(sc, ""); err != nil {
 			sess.Fatal(err)
 		}
-		if err := s.SetFaults(plan); err != nil {
+		simKey = string(sc.Algorithms()[0])
+		*rounds = sc.Rounds()
+		fmt.Fprintf(os.Stderr, "wsnq-trace: scenario %s (%s, |N|=%d, %d rounds)\n",
+			sc.Name(), simKey, sc.Nodes(), sc.Rounds())
+	} else {
+		cfg := wsnq.DefaultConfig()
+		cfg.Nodes = *nodes
+		cfg.Rounds = *rounds
+		cfg.Runs = 1
+		cfg.Seed = *seed
+		cfg.Dataset = wsnq.Dataset{Kind: wsnq.PressureData}
+
+		if s, err = wsnq.NewSimulation(cfg, wsnq.IQ); err != nil {
 			sess.Fatal(err)
+		}
+		if *faultSpec != "" {
+			plan, err := wsnq.ParseFaultPlan(*faultSpec)
+			if err != nil {
+				sess.Fatal(err)
+			}
+			if err := s.SetFaults(plan); err != nil {
+				sess.Fatal(err)
+			}
 		}
 	}
 
 	// One Observer bundles the JSONL writer, the alert rules (fed
 	// through the sampling series path), and the telemetry analyzer;
 	// its Collector renders them as the simulation's one trace hook.
-	ob := &wsnq.Observer{Key: "IQ"}
+	ob := &wsnq.Observer{Key: simKey}
 	if *events != "" {
 		f, err := os.Create(*events)
 		if err != nil {
@@ -97,7 +126,7 @@ func main() {
 			sess.Fatal(err)
 		}
 	}
-	if c := ob.Collector(s, "IQ"); c != nil {
+	if c := ob.Collector(s, simKey); c != nil {
 		s.SetTrace(c)
 	}
 

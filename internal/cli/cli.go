@@ -132,6 +132,10 @@ func (s *Session) Fatalf(format string, args ...any) {
 const FaultPlanUsage = "semicolon-separated fault plan: crash@R[-R2]:nID, " +
 	"burst(p=P,len=L):nID|link, partition@R[-R2] (e.g. 'crash@120:n17; burst(p=0.3,len=8):link'; see DESIGN.md §4f)"
 
+// ScenarioUsage is the shared help text of the tools' -scenario flag.
+const ScenarioUsage = "scenario FILE: one 'key value' clause per line composing topology, data, " +
+	"algorithms, fault plan, arq, alerts, and an optional sweep (see testdata/scenarios and the README's Scenarios section)"
+
 // AlertRulesUsage is the shared help text of the tools' -alert flag.
 const AlertRulesUsage = "semicolon-separated alert rules: presets storm, burnrate, excursion, " +
 	"or [name=]metric[:agg(window)]CMP warn[,crit] (e.g. 'storm; joules:mean(16)>2e-4'; see DESIGN.md §4e)"

@@ -75,6 +75,15 @@ type Options struct {
 	// the points but retains almost nothing.
 	Alerts *alert.Engine
 
+	// PointSink, when non-nil, observes every raw span-1 series point
+	// the engine ingests — after the alert rules — with the final
+	// (prefixed) series key and the store-assigned round index. It is
+	// the capture hook of the scenario record/replay layer
+	// (internal/scenario). Like Series it forces strictly sequential
+	// execution; when neither Series nor Alerts is set, a minimal
+	// private store still derives the points.
+	PointSink series.Sink
+
 	// Faults, when non-nil, attaches the fault plan (crash schedules,
 	// Gilbert–Elliott bursty links, sink partitions — see
 	// internal/fault) to every simulation run, together with the ARQ
@@ -98,11 +107,30 @@ type TraceJob struct {
 	Run           int // run (repetition) index
 }
 
+// SeriesKeyFor computes the series key the engine writes for a grid
+// job: "[prefix/][cellLabel/]algorithmName", falling back to "algN"
+// for unnamed factories. Consumers that correlate an Options.Trace
+// callback with the points arriving at Options.PointSink (the scenario
+// recorder) use it to derive the identical key.
+func SeriesKeyFor(j TraceJob, prefix string) string {
+	key := j.AlgorithmName
+	if key == "" {
+		key = fmt.Sprintf("alg%d", j.Algorithm)
+	}
+	if j.CellLabel != "" {
+		key = j.CellLabel + "/" + key
+	}
+	if prefix != "" {
+		key = prefix + "/" + key
+	}
+	return key
+}
+
 // workers resolves the effective worker count. Tracing — including the
 // series/alert collectors built on it — implies one worker: event
 // streams are only meaningful in deterministic order.
 func (o Options) workers() int {
-	if o.Trace != nil || o.Series != nil || o.Alerts != nil {
+	if o.Trace != nil || o.Series != nil || o.Alerts != nil || o.PointSink != nil {
 		return 1
 	}
 	if o.Parallelism > 0 {
@@ -294,24 +322,24 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 	// (with only Alerts set) a minimal private store that merely
 	// derives the per-round points the engine streams to the rules.
 	seriesStore := opts.Series
-	if opts.Alerts != nil {
+	if opts.Alerts != nil || opts.PointSink != nil {
 		if seriesStore == nil {
 			seriesStore = series.New(1)
 		}
+	}
+	if opts.Alerts != nil {
 		opts.Alerts.DefaultBudget(cfgs[0].Energy.InitialBudget)
 	}
 	seriesKey := func(j gridJob) string {
-		key := algs[j.alg].Name
-		if key == "" {
-			key = fmt.Sprintf("alg%d", j.alg)
+		label := ""
+		if cellLabels != nil {
+			label = cellLabels[j.cell]
 		}
-		if cellLabels != nil && cellLabels[j.cell] != "" {
-			key = cellLabels[j.cell] + "/" + key
-		}
-		if opts.KeyPrefix != "" {
-			key = opts.KeyPrefix + "/" + key
-		}
-		return key
+		return SeriesKeyFor(TraceJob{
+			Cell: j.cell, CellLabel: label,
+			Algorithm: j.alg, AlgorithmName: algs[j.alg].Name,
+			Run: j.run,
+		}, opts.KeyPrefix)
 	}
 
 	run := func(j gridJob) {
@@ -347,6 +375,9 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 				if opts.Alerts != nil {
 					opts.Alerts.StartRun(key)
 					sinks = append(sinks, opts.Alerts.Observe)
+				}
+				if opts.PointSink != nil {
+					sinks = append(sinks, opts.PointSink)
 				}
 				return trace.Multi(tc, seriesStore.IngestTotals(key, SeriesSampler(rt), sinks...))
 			}

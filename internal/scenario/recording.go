@@ -1,0 +1,171 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wsnq/internal/alert"
+	"wsnq/internal/series"
+)
+
+// Recording format constants. The version bumps on any change to the
+// record shapes below; Replay rejects recordings it does not speak.
+const (
+	recordingFormat  = "wsnq-recording"
+	recordingVersion = 1
+)
+
+// maxRecordBytes bounds one recording line (the header carries the full
+// canonical scenario text, so it dwarfs the round records).
+const maxRecordBytes = 4 << 20
+
+// Header is the first record of every recording: the format marker and
+// the embedded canonical scenario, self-describing and self-verifying.
+// Replay re-parses Scenario, requires it to be canonical, and checks
+// SHA256 against it, so a recording cannot silently drift from the
+// scenario that produced it.
+type Header struct {
+	Format   string `json:"format"`
+	Version  int    `json:"version"`
+	Scenario string `json:"scenario"`
+	SHA256   string `json:"sha256"`
+}
+
+// runMarker opens one grid job's stream; replay resets the alert
+// engine's windows for the key, mirroring the live StartRun.
+type runMarker struct {
+	Key string `json:"key"`
+}
+
+// roundRecord is one round of one key: the root's verdict and the
+// round-stamped span-1 series point exactly as the live PointSink saw
+// it. encoding/json round-trips float64 losslessly (shortest repr), so
+// replaying these points is bit-identical.
+type roundRecord struct {
+	Key     string       `json:"key"`
+	Answer  int          `json:"answer"`
+	K       int          `json:"k"`
+	RankErr int          `json:"rank_err"`
+	Point   series.Point `json:"point"`
+}
+
+// fileRecord is one JSONL line: exactly one of the three fields is set.
+type fileRecord struct {
+	Header *Header      `json:"header,omitempty"`
+	Run    *runMarker   `json:"run,omitempty"`
+	Round  *roundRecord `json:"round,omitempty"`
+}
+
+// ReadHeader decodes and verifies just the header line of a recording —
+// the cheap integrity check tools use before committing to a replay.
+func ReadHeader(r io.Reader) (*Header, *Scenario, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	line, err := br.ReadBytes('\n')
+	if err != nil && len(line) == 0 {
+		return nil, nil, fmt.Errorf("scenario: recording is empty: %w", err)
+	}
+	var rec fileRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil, nil, fmt.Errorf("scenario: bad recording header: %w", err)
+	}
+	if rec.Header == nil {
+		return nil, nil, fmt.Errorf("scenario: recording does not start with a header record")
+	}
+	h := rec.Header
+	if h.Format != recordingFormat {
+		return nil, nil, fmt.Errorf("scenario: recording format %q (want %q)", h.Format, recordingFormat)
+	}
+	if h.Version != recordingVersion {
+		return nil, nil, fmt.Errorf("scenario: recording version %d (want %d)", h.Version, recordingVersion)
+	}
+	s, err := Parse(h.Scenario)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: embedded scenario: %w", err)
+	}
+	if s.String() != h.Scenario {
+		return nil, nil, fmt.Errorf("scenario: embedded scenario text is not canonical")
+	}
+	if s.Hash() != h.SHA256 {
+		return nil, nil, fmt.Errorf("scenario: header hash %.12s… does not match embedded scenario (%.12s…)", h.SHA256, s.Hash())
+	}
+	return h, s, nil
+}
+
+// Replay streams a recording back through the series store and alert
+// engine offline, reconstructing — bit for bit — the Outcome of the
+// live run that produced it: same snapshots, same alert transitions,
+// same verdicts, same Hash. Only Metrics is absent (replay never
+// re-simulates), which is also why replay runs orders of magnitude
+// faster than live.
+func Replay(r io.Reader) (*Outcome, error) {
+	br := bufio.NewReaderSize(r, 64<<10)
+	_, s, err := ReadHeader(br)
+	if err != nil {
+		return nil, err
+	}
+
+	store := series.New(s.Capacity)
+	var eng *alert.Engine
+	var sinks []series.Sink
+	if len(s.Alerts) > 0 {
+		eng, err = alert.NewEngine(s.Alerts...)
+		if err != nil {
+			return nil, err
+		}
+		// Mirror the live engine's budget wiring so burn-rate rules
+		// project against the same per-node supply.
+		cfg, err := s.Config()
+		if err != nil {
+			return nil, err
+		}
+		eng.DefaultBudget(cfg.Energy.InitialBudget)
+		sinks = append(sinks, eng.Observe)
+	}
+
+	out := &Outcome{Scenario: s, Replayed: true}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec fileRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("scenario: recording line %d: %w", lineNo, err)
+		}
+		switch {
+		case rec.Run != nil:
+			if eng != nil {
+				eng.StartRun(rec.Run.Key)
+			}
+		case rec.Round != nil:
+			rr := rec.Round
+			stamped := store.Add(rr.Key, rr.Point, sinks...)
+			if stamped.Round != rr.Point.Round {
+				return nil, fmt.Errorf("scenario: recording line %d: key %q replays round %d where the recording says %d (truncated or reordered stream)",
+					lineNo, rr.Key, stamped.Round, rr.Point.Round)
+			}
+			out.Verdicts = append(out.Verdicts, Verdict{
+				Key: rr.Key, Round: stamped.Round,
+				Answer: rr.Answer, K: rr.K, RankErr: rr.RankErr,
+			})
+		case rec.Header != nil:
+			return nil, fmt.Errorf("scenario: recording line %d: unexpected second header", lineNo)
+		default:
+			return nil, fmt.Errorf("scenario: recording line %d: unknown record", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: reading recording: %w", err)
+	}
+	out.Series = store.Snapshot()
+	if eng != nil {
+		out.Alerts = eng.Log()
+	}
+	return out, nil
+}

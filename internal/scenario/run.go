@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"wsnq/internal/alert"
+	"wsnq/internal/experiment"
+	"wsnq/internal/series"
+	"wsnq/internal/trace"
+)
+
+// Verdict is one round's root decision for one series key: the
+// reported quantile answer, the queried rank, and the oracle-checked
+// rank error, paired with the store-assigned round index of the point
+// that closed the round.
+type Verdict struct {
+	Key     string `json:"key"`
+	Round   int    `json:"round"`
+	Answer  int    `json:"answer"`
+	K       int    `json:"k"`
+	RankErr int    `json:"rank_err"`
+}
+
+// Outcome is the result of running (or replaying) a scenario: the full
+// series store snapshot, the alert log, and the per-round verdicts.
+// Metrics is populated on live runs only — replay reconstructs streams,
+// not simulator aggregates — and is therefore excluded from Hash, which
+// digests exactly the replayable state.
+type Outcome struct {
+	Scenario *Scenario
+	Replayed bool
+	Series   map[string]series.Snapshot
+	Alerts   []alert.Event
+	Verdicts []Verdict
+	Metrics  map[string]experiment.Metrics
+}
+
+// Hash digests the replay-invariant outcome state — scenario identity,
+// every series snapshot in key order, the alert log, and the verdict
+// stream — as a SHA-256 hex string. A live run and a replay of its
+// recording produce the same hash; the golden tests pin these digests.
+func (o *Outcome) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario %s\n", o.Scenario.Hash())
+	keys := make([]string, 0, len(o.Series))
+	for k := range o.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, _ := json.Marshal(o.Series[k])
+		fmt.Fprintf(h, "series %s %s\n", k, b)
+	}
+	for _, e := range o.Alerts {
+		b, _ := json.Marshal(e)
+		fmt.Fprintf(h, "alert %s\n", b)
+	}
+	for _, v := range o.Verdicts {
+		b, _ := json.Marshal(v)
+		fmt.Fprintf(h, "verdict %s\n", b)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Run executes the scenario live on the experiment engine and returns
+// its outcome. Equivalent to Record with a nil writer.
+func Run(ctx context.Context, s *Scenario) (*Outcome, error) {
+	return Record(ctx, s, nil)
+}
+
+// Record executes the scenario live and, when w is non-nil, streams a
+// replayable JSONL recording to it: a header embedding the canonical
+// scenario text and its hash, then a run marker per grid job and one
+// round record per ingested point. Replay reconstructs the identical
+// Outcome from that stream without re-simulating.
+func Record(ctx context.Context, s *Scenario, w io.Writer) (*Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		return nil, err
+	}
+	algs, err := s.Factories()
+	if err != nil {
+		return nil, err
+	}
+	store := series.New(s.Capacity)
+	var eng *alert.Engine
+	if len(s.Alerts) > 0 {
+		eng, err = alert.NewEngine(s.Alerts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rec := &recorder{pending: make(map[string]decision)}
+	if w != nil {
+		rec.enc = json.NewEncoder(w)
+		rec.emit(fileRecord{Header: &Header{
+			Format:   recordingFormat,
+			Version:  recordingVersion,
+			Scenario: s.String(),
+			SHA256:   s.Hash(),
+		}})
+	}
+	opts := experiment.Options{
+		Series:    store,
+		Alerts:    eng,
+		PointSink: rec.point,
+		Trace:     rec.traceFor,
+		Faults:    s.Faults,
+		ARQ:       s.ARQ,
+	}
+
+	metrics := make(map[string]experiment.Metrics)
+	if s.Sweep != nil {
+		table, err := experiment.SweepContext(ctx, cfg, s.Name, s.Sweep.Axis, s.Variants(), algs, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, label := range table.Variants {
+			for _, a := range algs {
+				if m, ok := table.Cell(label, a.Name); ok {
+					metrics[label+"/"+a.Name] = m
+				}
+			}
+		}
+	} else {
+		ms, err := experiment.CompareContext(ctx, cfg, algs, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, a := range algs {
+			metrics[a.Name] = ms[i]
+		}
+	}
+	if rec.err != nil {
+		return nil, fmt.Errorf("scenario: recording %s: %w", s.Name, rec.err)
+	}
+
+	out := &Outcome{
+		Scenario: s,
+		Series:   store.Snapshot(),
+		Verdicts: rec.verdicts,
+		Metrics:  metrics,
+	}
+	if eng != nil {
+		out.Alerts = eng.Log()
+	}
+	return out, nil
+}
+
+// decision is the last root decision seen on a key's event stream,
+// waiting for the round's closing series point.
+type decision struct {
+	answer, k, rankErr int
+}
+
+// recorder couples the engine's two scenario hooks: Options.Trace hands
+// it each job's event stream (from which it taps root decisions and
+// emits run markers), and Options.PointSink hands it the round-stamped
+// series points. The engine runs strictly sequentially with either hook
+// set and emits exactly one decision before each point of a key, so
+// pairing the pending decision with the next point is lossless.
+type recorder struct {
+	enc      *json.Encoder // nil when running without a recording
+	pending  map[string]decision
+	verdicts []Verdict
+	err      error
+}
+
+func (r *recorder) emit(rec fileRecord) {
+	if r.enc == nil || r.err != nil {
+		return
+	}
+	r.err = r.enc.Encode(rec)
+}
+
+// traceFor is the Options.Trace hook: one run marker and one decision
+// tap per grid job.
+func (r *recorder) traceFor(job experiment.TraceJob) trace.Collector {
+	key := experiment.SeriesKeyFor(job, "")
+	r.emit(fileRecord{Run: &runMarker{Key: key}})
+	return &decisionTap{rec: r, key: key}
+}
+
+// point is the Options.PointSink hook.
+func (r *recorder) point(key string, p series.Point) {
+	d := r.pending[key]
+	delete(r.pending, key)
+	v := Verdict{Key: key, Round: p.Round, Answer: d.answer, K: d.k, RankErr: d.rankErr}
+	r.verdicts = append(r.verdicts, v)
+	r.emit(fileRecord{Round: &roundRecord{
+		Key: key, Answer: v.Answer, K: v.K, RankErr: v.RankErr, Point: p,
+	}})
+}
+
+// decisionTap parks each root decision until the round's point arrives.
+type decisionTap struct {
+	rec *recorder
+	key string
+}
+
+func (t *decisionTap) Collect(e trace.Event) {
+	if e.Kind == trace.KindDecision {
+		t.rec.pending[t.key] = decision{answer: e.Value, k: e.Aux, rankErr: e.Err}
+	}
+}

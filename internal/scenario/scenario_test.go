@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseDefaults: an empty file is the default scenario, and the
+// canonical rendering round-trips.
+func TestParseDefaults(t *testing.T) {
+	s, err := Parse("")
+	if err != nil {
+		t.Fatalf("Parse(empty): %v", err)
+	}
+	if !reflect.DeepEqual(s, defaults()) {
+		t.Fatalf("Parse(empty) = %+v, want defaults", s)
+	}
+	roundTrip(t, s)
+}
+
+// roundTrip asserts the Parse/String round-trip contract for s.
+func roundTrip(t *testing.T, s *Scenario) {
+	t.Helper()
+	text := s.String()
+	again, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(String()) failed: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(again, s) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v\ntext:\n%s", again, s, text)
+	}
+	if again.String() != text {
+		t.Fatalf("String not stable:\n first:\n%s second:\n%s", text, again.String())
+	}
+}
+
+// TestParseFull exercises every clause kind at once.
+func TestParseFull(t *testing.T) {
+	src := `
+# full-fat scenario
+scenario kitchen-sink
+nodes 40
+area 100
+range 30
+tree bfs
+values 2
+phi 0.25
+rounds 12
+runs 2
+seed 42
+loss 0.1
+capacity 64
+data synthetic universe=1024 period=31 noise=5 amplitude=0.2 spread=0.5
+algorithms IQ,HBC,TAG
+fault crash@3-6:n5
+fault burst(p=0.4,len=3):link
+arq retries=2 dead=4
+alerts storm=frames:mean(5)>400; err=rank_error:max(3)>=10,20
+sweep loss 0.05,0.1,0.2
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Name != "kitchen-sink" || s.Nodes != 40 || s.Tree != "bfs" ||
+		s.Values != 2 || s.Phi != 0.25 || s.Seed != 42 || s.Capacity != 64 {
+		t.Fatalf("scalars wrong: %+v", s)
+	}
+	if s.Data.Universe != 1024 || s.Data.Noise != 5 || s.Data.Amplitude != 0.2 {
+		t.Fatalf("data wrong: %+v", s.Data)
+	}
+	if len(s.Algorithms) != 3 || s.Algorithms[2] != "TAG" {
+		t.Fatalf("algorithms wrong: %v", s.Algorithms)
+	}
+	if s.Faults == nil || len(s.Faults.Entries) != 2 {
+		t.Fatalf("faults wrong: %+v", s.Faults)
+	}
+	if s.ARQ == nil || !s.ARQ.Enabled || s.ARQ.MaxRetries != 2 || s.ARQ.DeadAfter != 4 {
+		t.Fatalf("arq wrong: %+v", s.ARQ)
+	}
+	if len(s.Alerts) != 2 || !s.Alerts[1].HasCrit {
+		t.Fatalf("alerts wrong: %+v", s.Alerts)
+	}
+	if s.Sweep == nil || s.Sweep.Axis != "loss" || len(s.Sweep.Values) != 3 {
+		t.Fatalf("sweep wrong: %+v", s.Sweep)
+	}
+	roundTrip(t, s)
+}
+
+// TestParsePressureAndARQOff covers the alternate data kind and the
+// arq-off rendering.
+func TestParsePressureAndARQOff(t *testing.T) {
+	s, err := Parse("data pressure skip=3 pessimistic=true\narq off\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Data.Kind != "pressure" || s.Data.Skip != 3 || !s.Data.Pessimistic {
+		t.Fatalf("data wrong: %+v", s.Data)
+	}
+	if s.ARQ == nil || s.ARQ.Enabled {
+		t.Fatalf("arq wrong: %+v", s.ARQ)
+	}
+	roundTrip(t, s)
+}
+
+// TestParseErrors: every malformed clause is rejected with an error.
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus 1",                             // unknown key
+		"nodes",                               // missing value
+		"nodes x",                             // bad integer
+		"nodes 1",                             // below floor
+		"nodes 60\nnodes 61",                  // duplicate key
+		"phi 0",                               // out of range
+		"phi NaN",                             // non-finite
+		"loss +Inf",                           // non-finite
+		"tree dfs",                            // unknown tree
+		"scenario bad name",                   // space in name
+		"scenario " + strings.Repeat("x", 65), // too long
+		"data csv",                            // unknown kind
+		"data synthetic universe=1",           // universe too small
+		"data synthetic bogus=1",              // unknown parameter
+		"data pressure skip=0",                // bad skip
+		"algorithms IQ,IQ",                    // duplicate algorithm
+		"algorithms WAT",                      // unknown algorithm
+		"fault crash@notaround:n1",            // fault DSL error
+		"nodes 10\nfault crash@1:n10",         // crash target outside deployment
+		"arq retries=x",                       // bad arq value
+		"arq banana",                          // bad arq clause
+		"alerts x=frames:mean(0)>1",           // alert grammar error
+		"sweep flux 1,2",                      // unknown axis
+		"sweep nodes 10.5,20",                 // non-integral int axis
+		"sweep loss 0.1,0.1",                  // duplicate value
+		"sweep loss " + strings.Repeat("0.1,", 33) + "0.9", // too many values
+		"data pressure\nsweep period 1,2",                  // period sweep needs synthetic
+		"capacity 4",                                       // below series floor
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", src)
+		}
+	}
+}
+
+// testScenario is a small fast scenario exercising faults, ARQ, and
+// alerts — every stream the recorder captures.
+const testScenarioSrc = `
+scenario unit
+nodes 24
+area 80
+rounds 8
+runs 2
+seed 3
+loss 0.05
+capacity 16
+algorithms IQ,HBC
+fault crash@3-5:n4
+arq retries=2 dead=2
+alerts storm=frames:mean(3)>1; err=rank_error:max(2)>=1
+`
+
+// TestRecordReplayIdentical is the in-package differential: a live run,
+// its recording, and the recording's replay must agree on every series
+// point, alert transition, and verdict — and on the outcome hash.
+func TestRecordReplayIdentical(t *testing.T) {
+	s, err := Parse(testScenarioSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	live, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	var buf bytes.Buffer
+	recorded, err := Record(context.Background(), s, &buf)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if recorded.Hash() != live.Hash() {
+		t.Fatalf("recording changed the live outcome: %s vs %s", recorded.Hash(), live.Hash())
+	}
+
+	replayed, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !replayed.Replayed {
+		t.Fatal("replayed outcome not marked Replayed")
+	}
+	if !reflect.DeepEqual(replayed.Series, live.Series) {
+		t.Fatalf("replayed series differ:\n got %+v\nwant %+v", replayed.Series, live.Series)
+	}
+	if !reflect.DeepEqual(replayed.Alerts, live.Alerts) {
+		t.Fatalf("replayed alert log differs:\n got %+v\nwant %+v", replayed.Alerts, live.Alerts)
+	}
+	if !reflect.DeepEqual(replayed.Verdicts, live.Verdicts) {
+		t.Fatalf("replayed verdicts differ:\n got %+v\nwant %+v", replayed.Verdicts, live.Verdicts)
+	}
+	if replayed.Hash() != live.Hash() {
+		t.Fatalf("replay hash %s != live hash %s", replayed.Hash(), live.Hash())
+	}
+	if len(live.Verdicts) == 0 || len(live.Series) == 0 {
+		t.Fatal("empty outcome — recorder captured nothing")
+	}
+	// Live outcomes carry metrics; replays cannot.
+	if len(live.Metrics) != 2 || len(replayed.Metrics) != 0 {
+		t.Fatalf("metrics wrong: live %d entries, replay %d", len(live.Metrics), len(replayed.Metrics))
+	}
+}
+
+// TestReplayRejectsCorruption: a tampered or truncated stream fails
+// loudly instead of replaying wrong data.
+func TestReplayRejectsCorruption(t *testing.T) {
+	s, err := Parse("rounds 3\nnodes 12\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := Record(context.Background(), s, &buf); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+
+	// Dropping a round record breaks the monotonic round check.
+	mangled := strings.Join(append(append([]string{}, lines[:2]...), lines[3:]...), "\n")
+	if _, err := Replay(strings.NewReader(mangled)); err == nil {
+		t.Error("replay of a gapped stream accepted")
+	}
+	// A doctored header hash is rejected before any replaying.
+	bad := strings.Replace(lines[0], `"sha256":"`, `"sha256":"00`, 1)
+	if _, err := Replay(strings.NewReader(bad)); err == nil {
+		t.Error("replay with a forged header hash accepted")
+	}
+	// Garbage is not a recording.
+	if _, err := Replay(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted as a recording")
+	}
+	if _, err := Replay(strings.NewReader("")); err == nil {
+		t.Error("empty recording accepted")
+	}
+}
+
+// TestSweepRun: a swept scenario prefixes series keys with the variant
+// label and reports metrics per (label, algorithm) cell.
+func TestSweepRun(t *testing.T) {
+	s, err := Parse("nodes 16\nrounds 4\ncapacity 8\nalgorithms IQ\nsweep phi 0.25,0.75\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, key := range []string{"0.25/IQ", "0.75/IQ"} {
+		if _, ok := out.Series[key]; !ok {
+			t.Errorf("series key %q missing (have %v)", key, keysOf(out.Series))
+		}
+		if _, ok := out.Metrics[key]; !ok {
+			t.Errorf("metrics key %q missing", key)
+		}
+	}
+}
+
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -199,6 +199,22 @@ func (s *Store) append(key string, p Point) int {
 	return round
 }
 
+// Add ingests one raw span-1 point for key exactly as the live
+// ingesters do — the store assigns the monotonic per-key round index
+// and Span=1, merges the point into the downsampling ring, and then
+// hands the round-stamped point to each sink — and returns the stamped
+// point. It is the replay path of the scenario layer: streaming a
+// recording's points through Add reproduces, bit for bit, the store
+// and sink states of the live run that produced them.
+func (s *Store) Add(key string, p Point, sinks ...Sink) Point {
+	p.Round = s.append(key, p)
+	p.Span = 1
+	for _, sink := range sinks {
+		sink(key, p)
+	}
+	return p
+}
+
 // Last returns key's freshest point — the partial pending span when
 // one is open, else the newest stored point. ok is false for an
 // unknown or empty key. Serving layers use it for "latest sample"

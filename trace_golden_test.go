@@ -34,7 +34,8 @@ func goldenConfig() wsnq.Config {
 
 func TestGoldenTraceDigest(t *testing.T) {
 	h := sha256.New()
-	if _, err := wsnq.Run(goldenConfig(), wsnq.IQ, wsnq.WithTraceJSONL(h)); err != nil {
+	ob := &wsnq.Observer{Trace: wsnq.NewTraceJSONL(h)}
+	if _, err := wsnq.Run(goldenConfig(), wsnq.IQ, wsnq.WithObserver(ob)); err != nil {
 		t.Fatal(err)
 	}
 	got := hex.EncodeToString(h.Sum(nil))
@@ -52,7 +53,8 @@ func TestGoldenTraceDigest(t *testing.T) {
 func TestGoldenTraceStable(t *testing.T) {
 	digest := func() string {
 		h := sha256.New()
-		if _, err := wsnq.Run(goldenConfig(), wsnq.IQ, wsnq.WithTraceJSONL(h)); err != nil {
+		ob := &wsnq.Observer{Trace: wsnq.NewTraceJSONL(h)}
+		if _, err := wsnq.Run(goldenConfig(), wsnq.IQ, wsnq.WithObserver(ob)); err != nil {
 			t.Fatal(err)
 		}
 		return hex.EncodeToString(h.Sum(nil))

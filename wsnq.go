@@ -44,14 +44,11 @@ import (
 	"sync"
 
 	"wsnq/internal/alert"
-	"wsnq/internal/baseline"
-	"wsnq/internal/core"
 	"wsnq/internal/data"
 	"wsnq/internal/energy"
 	"wsnq/internal/experiment"
 	"wsnq/internal/fault"
 	"wsnq/internal/msg"
-	"wsnq/internal/protocol"
 	"wsnq/internal/series"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
@@ -91,33 +88,15 @@ func StandardAlgorithms() []Algorithm {
 	return []Algorithm{TAG, POS, LCLLH, LCLLS, HBC, IQ}
 }
 
-// factory returns the constructor for an algorithm name.
+// factory returns the constructor for an algorithm name. Name
+// resolution lives in experiment.ResolveAlgorithm so the scenario DSL
+// and the public constants share one vocabulary.
 func factory(a Algorithm) (experiment.Factory, error) {
-	switch a {
-	case TAG:
-		return func() protocol.Algorithm { return baseline.NewTAG() }, nil
-	case POS:
-		return func() protocol.Algorithm { return baseline.NewPOS(baseline.DefaultPOSOptions()) }, nil
-	case LCLLH:
-		return func() protocol.Algorithm { return baseline.NewLCLL(baseline.DefaultLCLLOptions(false)) }, nil
-	case LCLLS:
-		return func() protocol.Algorithm { return baseline.NewLCLL(baseline.DefaultLCLLOptions(true)) }, nil
-	case HBC:
-		return func() protocol.Algorithm { return core.NewHBC(core.DefaultHBCOptions()) }, nil
-	case HBCNB:
-		return func() protocol.Algorithm {
-			opts := core.DefaultHBCOptions()
-			opts.NoThresholdBroadcast = true
-			opts.DirectRetrieval = false
-			return core.NewHBC(opts)
-		}, nil
-	case IQ:
-		return func() protocol.Algorithm { return core.NewIQ(core.DefaultIQOptions()) }, nil
-	case Adaptive:
-		return func() protocol.Algorithm { return core.NewAdaptive(core.DefaultAdaptiveOptions()) }, nil
-	default:
+	f, err := experiment.ResolveAlgorithm(string(a))
+	if err != nil {
 		return nil, fmt.Errorf("wsnq: unknown algorithm %q", a)
 	}
+	return f, nil
 }
 
 // DatasetKind selects the measurement workload.
@@ -464,6 +443,9 @@ func WithTrace(c TraceCollector) Option {
 // run to w as JSON Lines (one event per line, in deterministic order).
 // The writer is not flushed or closed; wrap a *bufio.Writer and flush it
 // after the study returns.
+//
+// Deprecated: Use WithObserver(&Observer{Trace: NewTraceJSONL(w)});
+// Observer bundles every observability sink into one composable value.
 func WithTraceJSONL(w io.Writer) Option {
 	return WithTrace(NewTraceJSONL(w))
 }
