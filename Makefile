@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: help build test check bench bench-json race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard chaos serve scenario
+.PHONY: help build test check bench bench-json bench-diff race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard prof prof-guard chaos serve scenario
 
 # help lists the targets; keep the `##` summaries next to the targets
 # they describe.
@@ -9,7 +9,7 @@ help:
 	@echo "wsnq targets:"
 	@echo "  build       compile every package and tool"
 	@echo "  test        run the full test suite"
-	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + chaos + serve + scenario + fuzz-smoke"
+	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + prof + chaos + serve + scenario + fuzz-smoke"
 	@echo "  vet         static analysis"
 	@echo "  race        full suite under the race detector"
 	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
@@ -19,13 +19,20 @@ help:
 	@echo "  serve       query-service gate: registry race hammer + seeded 1,000-query load smoke"
 	@echo "  scenario    golden-scenario gate: DSL round-trips, pinned replay digests,"
 	@echo "              live-vs-replay differential, replay speedup, fleet boot"
+	@echo "  prof        profiling gate: attribution unit suite, golden attribution"
+	@echo "              snapshot, /profilez + pprof endpoint coverage, and the"
+	@echo "              allocation-ceiling regression guard"
 	@echo "  fuzz-smoke  short fresh-input budget for every fuzz target"
 	@echo "  trace-guard disabled-tracer overhead vs the 2% budget (idle machine)"
 	@echo "  series-guard series-ingest overhead vs the 2% budget (idle machine)"
+	@echo "  prof-guard  phase-attribution overhead vs the 2% budget (idle machine)"
 	@echo "  bench       run all Go benchmarks with -benchmem"
 	@echo "  bench-json  measure tracked hot paths into BENCH_<date>.json; the"
 	@echo "              regression guard (TestBenchRegressionGuard) diffs the"
 	@echo "              newest two sessions and fails on >15% hot-path slowdown"
+	@echo "              or a broken allocs/op ceiling"
+	@echo "  bench-diff  benchstat-style delta table between the two newest"
+	@echo "              committed BENCH_*.json sessions"
 	@echo "  fmt         gofmt the tree"
 
 build:
@@ -57,6 +64,25 @@ telemetry:
 alert:
 	$(GO) test -race -run '^TestSeriesRingRace$$' -v ./internal/series/
 	$(GO) test -run '^TestRuleEngineDeterminism$$' -v ./internal/alert/
+
+# prof gates the profiling layer: the recorder/report unit suite, the
+# benchfmt schema-v2 + diff-table suite, the telemetry exposition
+# endpoints (/profilez, /metrics runtime gauges, /debug/pprof labels),
+# the golden attribution snapshot of the 60-node lossy study, and the
+# allocation-ceiling arithmetic behind the regression guard. The timing
+# half of the layer (the ≤2% overhead budget) lives in prof-guard,
+# which — like trace-guard and series-guard — needs an idle machine.
+prof:
+	$(GO) test -v ./internal/prof/
+	$(GO) test -v ./internal/benchfmt/
+	$(GO) test -short -run '^(TestProfilezEndpoint|TestMetricsPublishRuntime|TestDebugPprofProfile)$$' -v ./internal/telemetry/
+	$(GO) test -count=1 -run '^(TestProfAttributionGolden|TestProfNamesLCLLSTopAllocPhase|TestProfResetAndReuse|TestBenchRegressionGuard|TestBenchGuardArithmetic)$$' -v .
+
+# prof-guard measures phase attribution (pprof label switches plus the
+# allocation-delta accounting) against the traced hot path and fails
+# beyond the 2% budget. Timing sensitive — run on an idle machine.
+prof-guard:
+	PROF_GUARD=1 $(GO) test -count=1 -run '^TestProfOverheadGuard$$' -v .
 
 # chaos is the robustness gate: the seeded crash+burst smoke of HBC
 # and IQ through the engine, the public API, the oracle's fault mode,
@@ -112,11 +138,11 @@ series-guard:
 # check is the gate every change must pass: static analysis, the full
 # suite under the race detector (the parallel engine makes this the
 # interesting configuration), the oracle suite, the telemetry gate, the
-# observability gate, the chaos gate, the query-service gate, the
-# golden-scenario gate, and a fuzz smoke run. staticcheck is advisory:
-# it runs when installed and is skipped (with a note) when not, so the
-# gate stays dependency-free.
-check: vet race oracle telemetry alert chaos serve scenario fuzz-smoke
+# observability gate, the profiling gate, the chaos gate, the
+# query-service gate, the golden-scenario gate, and a fuzz smoke run.
+# staticcheck is advisory: it runs when installed and is skipped (with
+# a note) when not, so the gate stays dependency-free.
+check: vet race oracle telemetry alert prof chaos serve scenario fuzz-smoke
 	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... \
 		|| echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"
 
@@ -128,6 +154,14 @@ bench:
 # against the previous session.
 bench-json: build
 	$(GO) run ./cmd/wsnq-bench -json
+
+# bench-diff prints the benchstat-style per-path delta table between
+# the two newest committed sessions — the table behind any regression
+# guard failure.
+bench-diff:
+	@set -- $$(ls BENCH_*.json | sort | tail -2); \
+	if [ $$# -lt 2 ]; then echo "need two BENCH_*.json sessions to diff"; exit 1; fi; \
+	$(GO) run ./cmd/wsnq-bench -diff $$1 $$2
 
 fmt:
 	gofmt -l -w .

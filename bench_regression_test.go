@@ -10,14 +10,29 @@ import (
 // consecutive benchmark sessions (15%).
 const regressionBudget = 0.15
 
+// allocBudget is the tolerated hot-path allocs/op growth between two
+// consecutive sessions (10%) — the fallback ceiling when the older
+// session predates schema 2's explicit allocs_ceiling.
+const allocBudget = 0.10
+
 // TestBenchRegressionGuard is the continuous-benchmarking gate: it
 // parses every committed BENCH_*.json (a malformed file always fails)
-// and, once at least two sessions exist, diffs the newest two and fails
-// when a tracked hot path slowed down by more than the budget.
+// and, once at least two sessions exist, diffs the newest two and
+// fails when a tracked hot path slowed down by more than the timing
+// budget or broke its allocation ceiling.
+//
+// The two comparisons degrade differently. Allocations are
+// deterministic per op, so the allocation gate always runs. ns/op
+// depends on the machine, so when every tracked path moved together —
+// benchfmt.UniformShift: a coherent whole-suite ratio of 25% or more —
+// the timing comparison is skipped with a notice instead of failing:
+// a uniform shift is evidence of a machine or toolchain change, and
+// failing on it would misattribute the environment to the code.
 //
 // Generate a new session with `make bench-json` (wsnq-bench -json) and
 // commit the produced file; the file-name date keeps the sessions in
-// chronological order.
+// chronological order. `wsnq-bench -diff OLD.json NEW.json` prints the
+// full delta table behind any failure here.
 func TestBenchRegressionGuard(t *testing.T) {
 	files, err := benchfmt.List(".")
 	if err != nil {
@@ -43,8 +58,66 @@ func TestBenchRegressionGuard(t *testing.T) {
 
 	oldF, newF := sessions[len(sessions)-2], sessions[len(sessions)-1]
 	t.Logf("diffing %s -> %s", files[len(files)-2], files[len(files)-1])
-	regs := benchfmt.Regressions(oldF, newF, benchfmt.TrackedHotPaths(), regressionBudget)
-	for _, r := range regs {
+
+	for _, r := range benchfmt.AllocRegressions(oldF, newF, benchfmt.TrackedHotPaths(), allocBudget) {
+		t.Errorf("allocation regression: %s", r)
+	}
+
+	if ratio, uniform := benchfmt.UniformShift(oldF, newF, benchfmt.TrackedHotPaths()); uniform {
+		t.Logf("notice: tracked hot paths shifted uniformly (median ×%.2f) — "+
+			"machine or toolchain change, skipping the ns/op comparison", ratio)
+		return
+	}
+	for _, r := range benchfmt.Regressions(oldF, newF, benchfmt.TrackedHotPaths(), regressionBudget) {
 		t.Errorf("hot-path regression: %s", r)
+	}
+}
+
+// TestBenchGuardArithmetic pins the guard's two decision rules on
+// synthetic sessions, independent of the committed files: a +20%
+// allocs/op growth on RoundIQ must break the gate (through both the
+// explicit schema-2 ceiling and the schema-1 relative fallback), and a
+// coherent whole-suite timing shift must trip the uniform-shift skip
+// while a lopsided one must not.
+func TestBenchGuardArithmetic(t *testing.T) {
+	mk := func() benchfmt.File {
+		return benchfmt.File{Results: []benchfmt.Result{
+			{Name: "RoundTAG", NsPerOp: 5000, AllocsPerOp: 80},
+			{Name: "RoundPOS", NsPerOp: 4000, AllocsPerOp: 60},
+			{Name: "RoundHBC", NsPerOp: 6000, AllocsPerOp: 90},
+			{Name: "RoundIQ", NsPerOp: 1000, AllocsPerOp: 50, AllocsCeiling: 55},
+		}}
+	}
+
+	// +20% allocs on RoundIQ breaks the explicit ceiling (55 < 60)...
+	oldF, newF := mk(), mk()
+	newF.Results[3].AllocsPerOp = 60
+	regs := benchfmt.AllocRegressions(oldF, newF, benchfmt.TrackedHotPaths(), allocBudget)
+	if len(regs) != 1 || regs[0].Name != "RoundIQ" || regs[0].Ceiling != 55 {
+		t.Errorf("+20%% allocs vs explicit ceiling: %v, want RoundIQ over 55", regs)
+	}
+	// ...and the relative fallback when the old session is schema 1.
+	oldF.Results[3].AllocsCeiling = 0
+	regs = benchfmt.AllocRegressions(oldF, newF, benchfmt.TrackedHotPaths(), allocBudget)
+	if len(regs) != 1 || regs[0].Name != "RoundIQ" || regs[0].Ceiling != 55 {
+		t.Errorf("+20%% allocs vs relative budget: %v, want RoundIQ over 55", regs)
+	}
+
+	// A coherent whole-suite slowdown is a shift, so the timing gate
+	// would be skipped; the same magnitude on one path is a regression.
+	uniformF := mk()
+	for i := range uniformF.Results {
+		uniformF.Results[i].NsPerOp *= 1.5
+	}
+	if _, uniform := benchfmt.UniformShift(mk(), uniformF, benchfmt.TrackedHotPaths()); !uniform {
+		t.Error("coherent ×1.5 suite not detected as a uniform shift")
+	}
+	lopF := mk()
+	lopF.Results[3].NsPerOp *= 1.5
+	if _, uniform := benchfmt.UniformShift(mk(), lopF, benchfmt.TrackedHotPaths()); uniform {
+		t.Error("single-path ×1.5 misread as a uniform shift")
+	}
+	if regs := benchfmt.Regressions(mk(), lopF, benchfmt.TrackedHotPaths(), regressionBudget); len(regs) != 1 || regs[0].Name != "RoundIQ" {
+		t.Errorf("single-path slowdown: %v, want RoundIQ", regs)
 	}
 }

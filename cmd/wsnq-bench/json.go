@@ -13,6 +13,23 @@ import (
 	"wsnq/internal/benchfmt"
 )
 
+// runBenchDiff loads two benchmark sessions and prints the
+// benchstat-style delta table, flagging a uniform shift of the tracked
+// hot paths (machine/toolchain change) when one is present.
+func runBenchDiff(oldPath, newPath string) error {
+	oldF, err := benchfmt.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := benchfmt.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("old: %s (%s, %s)\nnew: %s (%s, %s)\n\n",
+		oldPath, oldF.Date, oldF.GoVersion, newPath, newF.Date, newF.GoVersion)
+	return benchfmt.FormatDiff(os.Stdout, oldF, newF)
+}
+
 // runBenchJSON is the continuous-benchmarking mode: it measures every
 // tracked hot path with testing.Benchmark, pairs each sample with the
 // domain costs of a short study (frames and hottest-node energy per
@@ -169,6 +186,17 @@ func runBenchJSON(out string) error {
 		BytesPerOp:  res.AllocedBytesPerOp(),
 		AllocsPerOp: res.AllocsPerOp(),
 	})
+
+	// Schema 2: stamp every sample with its allocation budget — the
+	// measured allocs/op plus 10%, rounded up, so a count of 1 still
+	// gets headroom of 1. Allocations are deterministic per op, which
+	// is what lets the regression guard enforce these as hard ceilings
+	// where ns/op only supports a relative threshold.
+	for i := range f.Results {
+		if a := f.Results[i].AllocsPerOp; a > 0 {
+			f.Results[i].AllocsCeiling = a + (a+9)/10
+		}
+	}
 
 	if err := benchfmt.WriteFile(out, f); err != nil {
 		return err

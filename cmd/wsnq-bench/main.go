@@ -9,8 +9,10 @@
 //	wsnq-bench -fig fig6 -scale 1 -par 8 -progress
 //	wsnq-bench -list
 //	wsnq-bench -json                    # write BENCH_<date>.json for the regression guard
+//	wsnq-bench -diff OLD.json NEW.json  # benchstat-style delta table of two sessions
 //	wsnq-bench -fig fig6 -http :8080    # live /metrics, /health, /series, /alerts, /dashboard
 //	wsnq-bench -fig loss -alert "storm; excursion"
+//	wsnq-bench -fig loss -prof -cpuprofile /tmp/prof   # phase-labeled CPU profile + attribution table
 //
 // Scale 1.0 is the paper's full 20 runs × 250 rounds; the default 0.1
 // reproduces the shapes in seconds. Sweeps run on the parallel engine
@@ -24,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -49,6 +53,10 @@ func main() {
 		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
 		jsonBench = flag.Bool("json", false, "continuous-benchmarking mode: measure the tracked hot paths and write a BENCH_<date>.json")
 		jsonOut   = flag.String("out", "", "with -json: output file (default BENCH_<today>.json)")
+		diffBench = flag.Bool("diff", false, "diff two BENCH_*.json sessions (wsnq-bench -diff OLD.json NEW.json) and exit")
+		profAttr  = flag.Bool("prof", false, "attribute CPU time and allocations to algorithm×phase buckets and print the table after the sweep (forces sequential runs)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to DIR/cpu.pprof (phase-labeled with -prof)")
+		memProf   = flag.String("memprofile", "", "write an end-of-run heap profile to DIR/mem.pprof")
 	)
 	flag.Parse()
 
@@ -62,11 +70,64 @@ func main() {
 		}
 		return
 	}
+	if *diffBench {
+		if flag.NArg() != 2 {
+			sess.Fatalf("-diff wants exactly two sessions: wsnq-bench -diff OLD.json NEW.json")
+		}
+		if err := runBenchDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+			sess.Fatal(err)
+		}
+		return
+	}
 	if *jsonBench {
 		if err := runBenchJSON(*jsonOut); err != nil {
 			sess.Fatal(err)
 		}
 		return
+	}
+	if *cpuProf != "" {
+		if err := os.MkdirAll(*cpuProf, 0o755); err != nil {
+			sess.Fatal(err)
+		}
+		f, err := os.Create(filepath.Join(*cpuProf, "cpu.pprof"))
+		if err != nil {
+			sess.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			sess.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-bench: cpuprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wsnq-bench: wrote %s\n", f.Name())
+		}()
+	}
+	if *memProf != "" {
+		if err := os.MkdirAll(*memProf, 0o755); err != nil {
+			sess.Fatal(err)
+		}
+		defer func() {
+			path := filepath.Join(*memProf, "mem.pprof")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-bench: memprofile:", err)
+				return
+			}
+			runtime.GC() // settle live-object accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-bench: memprofile:", err)
+				f.Close()
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "wsnq-bench: memprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wsnq-bench: wrote %s\n", path)
+		}()
 	}
 
 	var ids []string
@@ -125,6 +186,9 @@ func main() {
 	if *alertSpec != "" || *httpAddr != "" {
 		ob.Series = wsnq.NewSeries()
 	}
+	if *profAttr {
+		ob.Prof = wsnq.NewProf()
+	}
 	if *httpAddr != "" {
 		ob.Telemetry = wsnq.NewTelemetry()
 		if err := sess.Serve(*httpAddr, ob.Handler()); err != nil {
@@ -156,6 +220,12 @@ func main() {
 	}
 	if ob.Alerts != nil {
 		cli.PrintAlerts(os.Stdout, ob.Alerts.States(), ob.Alerts.Log())
+	}
+	if ob.Prof != nil {
+		fmt.Println("per-phase attribution (CPU-heaviest first):")
+		if err := ob.Prof.WriteText(os.Stdout); err != nil {
+			sess.Fatal(err)
+		}
 	}
 	sess.Linger()
 }

@@ -94,6 +94,13 @@ var metrics = map[string]func(series.Point) float64{
 	"retries":         func(p series.Point) float64 { return float64(p.Retries) },
 	"orphans":         func(p series.Point) float64 { return float64(p.Orphans) },
 	"hot_joules":      func(p series.Point) float64 { return p.HotJoules },
+	// Go runtime health columns, populated on profiled runs (an
+	// attached Prof recorder); zero otherwise.
+	"heap_bytes":  func(p series.Point) float64 { return float64(p.HeapLiveBytes) },
+	"goroutines":  func(p series.Point) float64 { return float64(p.Goroutines) },
+	"gc_pause_ms": func(p series.Point) float64 { return p.GCPauseMs },
+	"alloc_bytes": func(p series.Point) float64 { return float64(p.AllocBytes) },
+	"allocs":      func(p series.Point) float64 { return float64(p.AllocObjects) },
 }
 
 // metricLifetime is the derived burn-rate metric.

@@ -156,6 +156,44 @@ func TestOrphanPresetTransitions(t *testing.T) {
 	}
 }
 
+// TestRuntimeHealthPresets drives the gc and heap presets through the
+// runtime-health point columns a profiled run populates: unprofiled
+// points (zero columns) stay OK, a long pause warns and a stop-the-
+// world spike escalates, and live-heap growth walks the heap rule up.
+func TestRuntimeHealthPresets(t *testing.T) {
+	gc, ok := preset("gc")
+	if !ok {
+		t.Fatal("gc preset missing")
+	}
+	heap, ok := preset("heap")
+	if !ok {
+		t.Fatal("heap preset missing")
+	}
+	e, err := NewEngine(gc, heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := []series.Point{
+		{Round: 0, Span: 1}, // unprofiled round: all columns zero
+		{Round: 1, Span: 1, GCPauseMs: 7, HeapLiveBytes: 64 << 20},
+		{Round: 2, Span: 1, GCPauseMs: 80, HeapLiveBytes: 512 << 20},
+	}
+	wantGC := []Level{OK, Warn, Crit}
+	wantHeap := []Level{OK, OK, Warn}
+	for i, p := range points {
+		e.Observe("IQ", p)
+		for _, st := range e.States() {
+			want := wantGC[i]
+			if st.Rule == "heap" {
+				want = wantHeap[i]
+			}
+			if st.Level != want {
+				t.Errorf("round %d: rule %s level %v, want %v", i, st.Rule, st.Level, want)
+			}
+		}
+	}
+}
+
 // TestRetriesMetric checks the retries metric feeds windowed
 // aggregates like any traffic counter.
 func TestRetriesMetric(t *testing.T) {

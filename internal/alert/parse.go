@@ -14,10 +14,11 @@ import (
 //	metric  = frames | messages | joules | bits | validation_bits |
 //	          refinement_bits | shipping_bits | other_bits |
 //	          rank_error | refines | retries | orphans |
-//	          hot_joules | lifetime
+//	          hot_joules | lifetime | heap_bytes | goroutines |
+//	          gc_pause_ms | alloc_bytes | allocs
 //	agg     = last | mean | max | min | sum | p95 | rate | nz
 //	cmp     = ">" | ">=" | "<" | "<="
-//	preset  = storm | burnrate | excursion | orphan
+//	preset  = storm | burnrate | excursion | orphan | gc | heap
 //
 // Omitting the aggregate defaults to last(1) — compare every round's
 // raw value. "rate" is the per-round rate of change across the window;
@@ -42,12 +43,21 @@ import (
 //	            decided with alive-but-orphaned nodes warns; ≥6 such
 //	            rounds (the repair machinery is not keeping up, e.g.
 //	            a standing partition) is critical.
+//	gc        — GC pressure on a profiled run: the worst per-round p95
+//	            stop-the-world pause over a 16-round window reaches
+//	            5ms (warn) or 50ms (crit). Only fires on runs with an
+//	            attached Prof recorder (the column is zero otherwise).
+//	heap      — heap growth on a profiled run: live heap over an
+//	            8-round window reaches 256MiB (warn) or 1GiB (crit).
+//	            Only fires on profiled runs, like gc.
 func Presets() []Rule {
 	return []Rule{
 		{Name: "storm", Metric: "refines", Agg: "max", Window: 8, Cmp: ">=", Warn: 2, Crit: 4, HasCrit: true},
 		{Name: "burnrate", Metric: metricLifetime, Agg: "rate", Window: 32, Cmp: "<", Warn: 4000, Crit: 1000, HasCrit: true},
 		{Name: "excursion", Metric: "rank_error", Agg: "nz", Window: 16, Cmp: ">=", Warn: 4, Crit: 8, HasCrit: true},
 		{Name: "orphan", Metric: "orphans", Agg: "nz", Window: 8, Cmp: ">=", Warn: 1, Crit: 6, HasCrit: true},
+		{Name: "gc", Metric: "gc_pause_ms", Agg: "max", Window: 16, Cmp: ">=", Warn: 5, Crit: 50, HasCrit: true},
+		{Name: "heap", Metric: "heap_bytes", Agg: "max", Window: 8, Cmp: ">=", Warn: 256 << 20, Crit: 1 << 30, HasCrit: true},
 	}
 }
 
@@ -110,7 +120,7 @@ func ParseRule(s string) (Rule, error) {
 
 	cmpIdx := strings.IndexAny(expr, "<>")
 	if cmpIdx < 0 {
-		return Rule{}, fmt.Errorf("alert: %q is neither a preset (storm, burnrate, excursion, orphan) nor a threshold expression", expr)
+		return Rule{}, fmt.Errorf("alert: %q is neither a preset (storm, burnrate, excursion, orphan, gc, heap) nor a threshold expression", expr)
 	}
 	cmp := expr[cmpIdx : cmpIdx+1]
 	rest := expr[cmpIdx+1:]

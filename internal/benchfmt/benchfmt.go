@@ -20,10 +20,16 @@ import (
 	"time"
 )
 
-// SchemaVersion identifies the BENCH JSON layout. Decode rejects files
-// written by a different schema, so the regression guard never compares
-// incompatible measurements.
-const SchemaVersion = 1
+// SchemaVersion identifies the BENCH JSON layout. Version 2 adds the
+// per-benchmark allocation ceiling (allocs_ceiling) the allocation-
+// budget gate enforces. Decode also accepts version-1 files — they
+// simply carry no ceilings, so the gate falls back to a relative
+// budget — and rejects anything newer, so the regression guard never
+// compares measurements it does not understand.
+const (
+	SchemaVersion    = 2
+	minSchemaVersion = 1
+)
 
 // FilePrefix and FileSuffix frame the benchmark file names.
 const (
@@ -50,6 +56,12 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// AllocsCeiling is the allocation budget (allocs/op) this benchmark
+	// must stay under in later sessions; 0 (and every schema-1 file)
+	// means no explicit budget, and the gate falls back to a relative
+	// one derived from AllocsPerOp. Schema 2.
+	AllocsCeiling int64 `json:"allocs_ceiling,omitempty"`
 
 	FramesPerRound float64 `json:"frames_per_round,omitempty"`
 	EnergyPerRound float64 `json:"max_node_j_per_round,omitempty"`
@@ -102,8 +114,8 @@ func Decode(r io.Reader) (File, error) {
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
 		return File{}, fmt.Errorf("benchfmt: %w", err)
 	}
-	if f.Schema != SchemaVersion {
-		return File{}, fmt.Errorf("benchfmt: schema %d, this build reads %d", f.Schema, SchemaVersion)
+	if f.Schema < minSchemaVersion || f.Schema > SchemaVersion {
+		return File{}, fmt.Errorf("benchfmt: schema %d, this build reads %d..%d", f.Schema, minSchemaVersion, SchemaVersion)
 	}
 	return f, nil
 }
@@ -178,4 +190,104 @@ func Regressions(old, new File, tracked []string, threshold float64) []Regressio
 		}
 	}
 	return out
+}
+
+// AllocRegression is one tracked benchmark whose allocations per op
+// broke the allocation budget between two sessions.
+type AllocRegression struct {
+	Name      string
+	OldAllocs int64
+	NewAllocs int64
+	Ceiling   int64   // the budget that was broken
+	Growth    float64 // fractional allocs/op growth vs old
+}
+
+func (r AllocRegression) String() string {
+	return fmt.Sprintf("%s: %d allocs/op -> %d allocs/op (+%.0f%%, ceiling %d)",
+		r.Name, r.OldAllocs, r.NewAllocs, 100*r.Growth, r.Ceiling)
+}
+
+// AllocRegressions diffs the tracked benchmarks' allocation counts and
+// returns the ones whose allocs/op exceed their budget: the old
+// session's explicit AllocsCeiling when it carries one (schema 2), or
+// the old count grown by threshold (0.10 = +10%) otherwise — so
+// schema-1 history still gates relative growth. Allocations are
+// deterministic per op (unlike ns/op), which is what makes a hard
+// ceiling enforceable at all. Benchmarks absent from either session
+// are skipped.
+func AllocRegressions(old, new File, tracked []string, threshold float64) []AllocRegression {
+	var out []AllocRegression
+	for _, name := range tracked {
+		o, okOld := old.Result(name)
+		n, okNew := new.Result(name)
+		if !okOld || !okNew || o.AllocsPerOp <= 0 {
+			continue
+		}
+		ceiling := o.AllocsCeiling
+		if ceiling <= 0 {
+			ceiling = o.AllocsPerOp + int64(float64(o.AllocsPerOp)*threshold)
+		}
+		if n.AllocsPerOp > ceiling {
+			out = append(out, AllocRegression{
+				Name:      name,
+				OldAllocs: o.AllocsPerOp,
+				NewAllocs: n.AllocsPerOp,
+				Ceiling:   ceiling,
+				Growth:    float64(n.AllocsPerOp)/float64(o.AllocsPerOp) - 1,
+			})
+		}
+	}
+	return out
+}
+
+// Uniform-shift detection bounds: a session counts as uniformly
+// shifted when at least UniformShiftMinPaths tracked paths are
+// comparable, their median ns/op ratio moved at least 25% in either
+// direction, and every ratio sits within ±15% of that median. Code
+// regressions are lopsided — one or two paths move, the rest hold —
+// whereas a machine or toolchain change moves everything together, so
+// a coherent whole-suite shift is evidence about the environment, not
+// the code.
+const (
+	UniformShiftMinPaths  = 4
+	uniformShiftMagnitude = 0.25
+	uniformShiftCoherence = 0.15
+)
+
+// UniformShift reports whether new's tracked ns/op moved uniformly
+// against old: enough comparable paths, a median ratio outside
+// [0.80, 1.25], and every path within ±15% of the median. The returned
+// ratio is the median new/old ns/op ratio (1 = unchanged); uniform is
+// false when fewer than UniformShiftMinPaths paths are comparable.
+// Callers use it to skip — not fail — a timing comparison that would
+// misattribute an environment change to the code.
+func UniformShift(old, new File, tracked []string) (ratio float64, uniform bool) {
+	var ratios []float64
+	for _, name := range tracked {
+		o, okOld := old.Result(name)
+		n, okNew := new.Result(name)
+		if !okOld || !okNew || o.NsPerOp <= 0 || n.NsPerOp <= 0 {
+			continue
+		}
+		ratios = append(ratios, n.NsPerOp/o.NsPerOp)
+	}
+	if len(ratios) < UniformShiftMinPaths {
+		return 1, false
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	// Outside [1/1.25, 1.25] — i.e. at least 25% faster or slower
+	// across the board — counts as a shift.
+	if median < 1+uniformShiftMagnitude && median > 1/(1+uniformShiftMagnitude) {
+		return median, false
+	}
+	for _, r := range ratios {
+		if r < median*(1-uniformShiftCoherence) || r > median*(1+uniformShiftCoherence) {
+			return median, false
+		}
+	}
+	return median, true
 }

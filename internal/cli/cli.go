@@ -137,7 +137,7 @@ const ScenarioUsage = "scenario FILE: one 'key value' clause per line composing 
 	"algorithms, fault plan, arq, alerts, and an optional sweep (see testdata/scenarios and the README's Scenarios section)"
 
 // AlertRulesUsage is the shared help text of the tools' -alert flag.
-const AlertRulesUsage = "semicolon-separated alert rules: presets storm, burnrate, excursion, " +
+const AlertRulesUsage = "semicolon-separated alert rules: presets storm, burnrate, excursion, orphan, gc, heap, " +
 	"or [name=]metric[:agg(window)]CMP warn[,crit] (e.g. 'storm; joules:mean(16)>2e-4'; see DESIGN.md §4e)"
 
 // PrintAlerts writes the end-of-study alert report: every rule × key

@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"wsnq/internal/alert"
 	"wsnq/internal/fault"
+	"wsnq/internal/prof"
 	"wsnq/internal/series"
 	"wsnq/internal/sim"
 	"wsnq/internal/telemetry"
@@ -84,6 +87,18 @@ type Options struct {
 	// private store still derives the points.
 	PointSink series.Sink
 
+	// Prof, when non-nil, attributes every job's CPU time and heap
+	// allocations to algorithm×phase buckets in the recorder, and runs
+	// each job under pprof goroutine labels (algorithm, run, cell, and
+	// the current phase) so sampling profiles can be sliced the same
+	// way. Like Trace it forces strictly sequential execution: the
+	// allocation counters are global to the process, so spans are only
+	// attributable when one run executes at a time. Per-round runtime
+	// health metrics (GC pause p95, live heap, goroutines, allocs) are
+	// additionally folded into the series points when a series consumer
+	// is attached too.
+	Prof *prof.Recorder
+
 	// Faults, when non-nil, attaches the fault plan (crash schedules,
 	// Gilbert–Elliott bursty links, sink partitions — see
 	// internal/fault) to every simulation run, together with the ARQ
@@ -130,7 +145,7 @@ func SeriesKeyFor(j TraceJob, prefix string) string {
 // series/alert collectors built on it — implies one worker: event
 // streams are only meaningful in deterministic order.
 func (o Options) workers() int {
-	if o.Trace != nil || o.Series != nil || o.Alerts != nil || o.PointSink != nil {
+	if o.Trace != nil || o.Series != nil || o.Alerts != nil || o.PointSink != nil || o.Prof != nil {
 		return 1
 	}
 	if o.Parallelism > 0 {
@@ -145,7 +160,14 @@ func (o Options) workers() int {
 // and must return a fresh instance each time. The context cancels the
 // remaining runs; the first error (or ctx.Err()) is returned.
 func RunContext(ctx context.Context, cfg Config, factory Factory, opts Options) (Metrics, error) {
-	res, err := runGrid(ctx, []Config{cfg}, nil, []NamedFactory{{New: factory}}, opts)
+	return RunNamedContext(ctx, cfg, "", factory, opts)
+}
+
+// RunNamedContext is RunContext with the algorithm's display name
+// attached: trace jobs, series keys, and profiling scopes then carry
+// the name instead of the positional algN fallback.
+func RunNamedContext(ctx context.Context, cfg Config, name string, factory Factory, opts Options) (Metrics, error) {
+	res, err := runGrid(ctx, []Config{cfg}, nil, []NamedFactory{{Name: name, New: factory}}, opts)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -379,7 +401,11 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 				if opts.PointSink != nil {
 					sinks = append(sinks, opts.PointSink)
 				}
-				return trace.Multi(tc, seriesStore.IngestTotals(key, SeriesSampler(rt), sinks...))
+				sampler := SeriesSampler(rt)
+				if opts.Prof != nil {
+					sampler = withRuntimeStats(sampler, prof.NewRuntimeSampler())
+				}
+				return trace.Multi(tc, seriesStore.IngestTotals(key, sampler, sinks...))
 			}
 			var flt *faultRig
 			if opts.Faults != nil {
@@ -396,7 +422,25 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 				}
 			}
 			var m Metrics
-			m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt)
+			if opts.Prof != nil {
+				// The job runs under pprof goroutine labels so sampling
+				// profiles slice by algorithm/run/cell; the attached
+				// handle adds the live phase label and books the
+				// CPU/allocation spans.
+				name := algs[j.alg].Name
+				if name == "" {
+					name = fmt.Sprintf("alg%d", j.alg)
+				}
+				labels := []string{"algorithm", name, "run", strconv.Itoa(j.run)}
+				if cellLabels != nil {
+					labels = append(labels, "cell", cellLabels[j.cell])
+				}
+				pprof.Do(ctx, pprof.Labels(labels...), func(c context.Context) {
+					m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt, opts.Prof.Attach(c, name))
+				})
+			} else {
+				m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt, nil)
+			}
 			if err == nil {
 				perRun[j.cell][j.alg][j.run] = []Metrics{m}
 				record(algs[j.alg].Name, m, time.Since(jobStart))

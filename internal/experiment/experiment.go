@@ -16,6 +16,7 @@ import (
 	"wsnq/internal/energy"
 	"wsnq/internal/fault"
 	"wsnq/internal/msg"
+	"wsnq/internal/prof"
 	"wsnq/internal/protocol"
 	"wsnq/internal/sim"
 	"wsnq/internal/trace"
@@ -285,8 +286,10 @@ type faultRig struct {
 // answer is then recorded as a decision event. flt, when non-nil,
 // attaches the fault plan and drives the recovery contract: a pending
 // repair flag or a Step desynchronization replays the protocol's
-// initialization over temporarily reliable links.
-func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*sim.Runtime) trace.Collector, flt *faultRig) (Metrics, error) {
+// initialization over temporarily reliable links. ph, when non-nil,
+// attaches phase-attribution profiling to the runtime (closed together
+// with the trace via EndTrace).
+func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*sim.Runtime) trace.Collector, flt *faultRig, ph *prof.Handle) (Metrics, error) {
 	rt, err := dep.NewRuntime(cfg)
 	if err != nil {
 		return Metrics{}, err
@@ -295,6 +298,9 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 		if tc := mkTrace(rt); tc != nil {
 			rt.SetTrace(tc)
 		}
+	}
+	if ph != nil {
+		rt.SetProf(ph)
 	}
 	if flt != nil {
 		// After SetTrace, so crash events at attach time are captured.

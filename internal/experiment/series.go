@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"wsnq/internal/prof"
 	"wsnq/internal/series"
 	"wsnq/internal/sim"
 )
@@ -25,5 +26,31 @@ func SeriesSampler(rt *sim.Runtime) series.Sampler {
 			Joules:         total,
 			HotJoules:      hottest,
 		}
+	}
+}
+
+// ProfSeriesSampler is SeriesSampler with the Go runtime's health
+// counters folded into every totals sample — the sampler a profiled
+// run uses so its series points additionally carry GC pause p95, live
+// heap, goroutine count, and allocs per round. The query server uses
+// it for registrations on a profiled registry.
+func ProfSeriesSampler(rt *sim.Runtime) series.Sampler {
+	return withRuntimeStats(SeriesSampler(rt), prof.NewRuntimeSampler())
+}
+
+// withRuntimeStats folds the Go runtime's health counters into every
+// totals sample, so the per-round series points additionally carry GC
+// pause p95, live heap, goroutine count, and allocs per round. The
+// engine wraps SeriesSampler with it when Options.Prof is set.
+func withRuntimeStats(base series.Sampler, rs *prof.RuntimeSampler) series.Sampler {
+	return func() series.Totals {
+		t := base()
+		s := rs.Sample()
+		t.AllocBytes = int64(s.AllocBytes)
+		t.AllocObjects = int64(s.AllocObjects)
+		t.HeapLiveBytes = int64(s.HeapLiveBytes)
+		t.Goroutines = s.Goroutines
+		t.GCPauseMs = s.GCPauseP95Ms
+		return t
 	}
 }

@@ -1,0 +1,89 @@
+package prof
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// The runtime health metrics the sampler reads. All of them are cheap
+// runtime/metrics reads — no stop-the-world, unlike ReadMemStats.
+const (
+	heapLiveMetric   = "/gc/heap/live:bytes"
+	goroutinesMetric = "/sched/goroutines:goroutines"
+	gcPausesMetric   = "/sched/pauses/total/gc:seconds"
+)
+
+// RuntimeStats is one sample of the Go runtime's health counters.
+// AllocBytes and AllocObjects are cumulative since process start —
+// consumers diff consecutive samples for per-round rates, exactly like
+// the series layer diffs the simulation's traffic counters.
+type RuntimeStats struct {
+	HeapLiveBytes uint64  // bytes occupied by live objects (plus not-yet-swept)
+	Goroutines    int     // live goroutine count
+	GCPauseP95Ms  float64 // p95 stop-the-world pause, process lifetime, milliseconds
+	AllocBytes    uint64  // cumulative heap bytes allocated
+	AllocObjects  uint64  // cumulative heap objects allocated
+}
+
+// RuntimeSampler reads the runtime health metrics with a pre-allocated
+// sample slice. Not safe for concurrent use; each consumer owns one.
+type RuntimeSampler struct {
+	samples []metrics.Sample
+}
+
+// NewRuntimeSampler builds a sampler.
+func NewRuntimeSampler() *RuntimeSampler {
+	return &RuntimeSampler{samples: []metrics.Sample{
+		{Name: heapLiveMetric},
+		{Name: goroutinesMetric},
+		{Name: gcPausesMetric},
+		{Name: allocBytesMetric},
+		{Name: allocObjectsMetric},
+	}}
+}
+
+// Sample reads the current runtime stats.
+func (s *RuntimeSampler) Sample() RuntimeStats {
+	metrics.Read(s.samples)
+	return RuntimeStats{
+		HeapLiveBytes: s.samples[0].Value.Uint64(),
+		Goroutines:    int(s.samples[1].Value.Uint64()),
+		GCPauseP95Ms:  1000 * histQuantile(s.samples[2].Value.Float64Histogram(), 0.95),
+		AllocBytes:    s.samples[3].Value.Uint64(),
+		AllocObjects:  s.samples[4].Value.Uint64(),
+	}
+}
+
+// histQuantile computes the nearest-rank quantile of a runtime/metrics
+// histogram: the upper edge of the bucket holding the q-th count. The
+// zero value is returned for an empty histogram, and the finite lower
+// edge stands in when the quantile lands in a +Inf-bounded tail
+// bucket.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	thresh := uint64(math.Ceil(q * float64(total)))
+	if thresh < 1 {
+		thresh = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= thresh {
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

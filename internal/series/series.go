@@ -64,6 +64,18 @@ type Point struct {
 	ShippingBits   int     `json:"shipping_bits"`
 	OtherBits      int     `json:"other_bits"`
 	HotJoules      float64 `json:"hot_joules"`
+
+	// Runtime health metrics (internal/prof), populated only when the
+	// profiling layer is attached — omitempty keeps recordings and
+	// golden digests from unprofiled runs byte-identical. AllocBytes
+	// and AllocObjects are the process's heap allocations during the
+	// span (additive); the rest are end-of-span gauges except
+	// GCPauseMs, which keeps the worst p95 seen over the span.
+	HeapLiveBytes int64   `json:"heap_live_bytes,omitempty"`
+	Goroutines    int     `json:"goroutines,omitempty"`
+	GCPauseMs     float64 `json:"gc_pause_ms,omitempty"`
+	AllocBytes    int64   `json:"alloc_bytes,omitempty"`
+	AllocObjects  int64   `json:"alloc_objects,omitempty"`
 }
 
 // Bits returns the total wire bits of the span (all phase buckets).
@@ -114,6 +126,13 @@ func merge(a, b Point) Point {
 		a.RankError = b.RankError
 	}
 	a.HotJoules = b.HotJoules
+	a.AllocBytes += b.AllocBytes
+	a.AllocObjects += b.AllocObjects
+	a.HeapLiveBytes = b.HeapLiveBytes
+	a.Goroutines = b.Goroutines
+	if b.GCPauseMs > a.GCPauseMs {
+		a.GCPauseMs = b.GCPauseMs
+	}
 	return a
 }
 
@@ -360,6 +379,15 @@ type Totals struct {
 	TotalBits      int     // all wire bits (the remainder becomes OtherBits)
 	Joules         float64 // network-wide cumulative consumption
 	HotJoules      float64 // hottest single node's cumulative consumption
+
+	// Runtime health counters (zero when the profiling layer is not
+	// attached): cumulative process heap allocations — diffed per round
+	// like the traffic counters — plus instantaneous gauges.
+	AllocBytes    int64   // cumulative heap bytes allocated
+	AllocObjects  int64   // cumulative heap objects allocated
+	HeapLiveBytes int64   // live heap at sample time
+	Goroutines    int     // live goroutines at sample time
+	GCPauseMs     float64 // lifetime p95 stop-the-world pause, ms
 }
 
 // Sampler reads the live cumulative counters of a running simulation.
@@ -433,6 +461,11 @@ func (in *totalsIngester) Collect(e trace.Event) {
 			RefinementBits: t.RefinementBits - in.prev.RefinementBits,
 			ShippingBits:   t.ShippingBits - in.prev.ShippingBits,
 			HotJoules:      t.HotJoules,
+			AllocBytes:     t.AllocBytes - in.prev.AllocBytes,
+			AllocObjects:   t.AllocObjects - in.prev.AllocObjects,
+			HeapLiveBytes:  t.HeapLiveBytes,
+			Goroutines:     t.Goroutines,
+			GCPauseMs:      t.GCPauseMs,
 		}
 		p.OtherBits = (t.TotalBits - in.prev.TotalBits) -
 			(p.ValidationBits + p.RefinementBits + p.ShippingBits)

@@ -19,6 +19,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -29,6 +30,7 @@ import (
 	"wsnq/internal/alert"
 	"wsnq/internal/energy"
 	"wsnq/internal/experiment"
+	"wsnq/internal/prof"
 	"wsnq/internal/protocol"
 	"wsnq/internal/series"
 	"wsnq/internal/sim"
@@ -69,6 +71,13 @@ type Config struct {
 	// Workers bounds the per-Advance stepping pool; 0 uses one worker
 	// per query up to the number of CPUs the runtime schedules.
 	Workers int
+	// Prof, when non-nil, attributes every query round's CPU time and
+	// heap allocations to algorithm×phase buckets and labels the
+	// stepping goroutines (algorithm, fleet, query) for sampling
+	// profiles. Like the experiment engine, a profiled registry steps
+	// queries on a single worker: the process-global allocation
+	// counters are only attributable when one round executes at a time.
+	Prof *prof.Recorder
 	// Resolve maps an algorithm name to its constructor. Nil selects
 	// the standard line-up (experiment.StandardAlgorithms).
 	Resolve func(name string) (experiment.Factory, error)
@@ -366,8 +375,24 @@ func buildQuery(spec Spec, cfg experiment.Config, fleet *Fleet, rcfg Config) (*Q
 	}
 	// The sampling ingester diffs the runtime's cumulative counters at
 	// the round boundaries AdvanceRound emits — the same fast path the
-	// experiment engine and Simulation.SeriesCollector use.
-	rt.SetTrace(store.IngestTotals(spec.Key, experiment.SeriesSampler(rt), sinks...))
+	// experiment engine and Simulation.SeriesCollector use. A profiled
+	// registry additionally folds the Go runtime's health counters into
+	// each sample and attaches per-phase attribution to the runtime.
+	sampler := experiment.SeriesSampler(rt)
+	if rcfg.Prof != nil {
+		sampler = experiment.ProfSeriesSampler(rt)
+	}
+	rt.SetTrace(store.IngestTotals(spec.Key, sampler, sinks...))
+	if rcfg.Prof != nil {
+		// The handle stays closed between rounds — step brackets each
+		// round with Switch/Close — so allocations made outside this
+		// query's rounds (other queries, the HTTP layer) are never
+		// charged to it.
+		q.ph = rcfg.Prof.Attach(context.Background(), spec.Algorithm,
+			"algorithm", spec.Algorithm, "fleet", spec.Fleet, "query", spec.ID)
+		rt.SetProf(q.ph)
+		q.ph.Close()
+	}
 	return q, nil
 }
 
@@ -456,6 +481,11 @@ func (r *Registry) Advance() int {
 	if workers <= 0 {
 		workers = defaultWorkers()
 	}
+	if r.cfg.Prof != nil {
+		// Attribution diffs process-global allocation counters around
+		// each phase span; concurrent rounds would cross-charge.
+		workers = 1
+	}
 	if workers > len(qs) {
 		workers = len(qs)
 	}
@@ -490,6 +520,7 @@ type Query struct {
 
 	mu      sync.Mutex
 	rt      *sim.Runtime
+	ph      *prof.Handle
 	alg     protocol.Algorithm
 	store   *series.Store
 	eng     *alert.Engine
@@ -544,6 +575,13 @@ func (q *Query) step(dropped *atomic.Int64) {
 	defer q.mu.Unlock()
 	if q.closed || q.failed != nil {
 		return
+	}
+	if q.ph != nil {
+		// Open this round's attribution span on the stepping goroutine
+		// and flush it when the round ends, so the interleaved rounds
+		// of other queries are never charged to this query's buckets.
+		q.ph.Switch(q.rt.Phase())
+		defer q.ph.Close()
 	}
 	var (
 		v   int

@@ -121,8 +121,21 @@ type Runtime struct {
 	phase     string
 	stats     Stats
 	tr        trace.Collector // nil = flight recorder disabled
+	po        PhaseObserver   // nil = continuous profiling disabled
 	lossBcast bool
 	flt       *faultState // nil = fault/recovery layer disabled
+}
+
+// PhaseObserver is the continuous-profiling hook (internal/prof): the
+// runtime reports every actual phase transition to it, and closes it
+// when the run's event stream ends. Observing never influences the
+// simulation — it is the profiling analogue of the trace collector.
+type PhaseObserver interface {
+	// Switch is called when the traffic label actually changes (not on
+	// redundant SetPhase calls with the current label).
+	Switch(phase string)
+	// Close flushes the open span at the end of the run.
+	Close()
 }
 
 // New validates the configuration and builds a Runtime positioned at
@@ -197,8 +210,26 @@ func (rt *Runtime) Ledger() *energy.Ledger { return rt.ledger }
 func (rt *Runtime) Stats() Stats { return rt.stats }
 
 // SetPhase labels all subsequent traffic with a protocol stage (one of
-// the Phase* constants, or any caller-chosen string).
-func (rt *Runtime) SetPhase(phase string) { rt.phase = phase }
+// the Phase* constants, or any caller-chosen string). With a profiling
+// observer attached, an actual label change also closes the open
+// attribution span; redundant calls with the current label cost one
+// compare.
+func (rt *Runtime) SetPhase(phase string) {
+	if rt.po != nil && phase != rt.phase {
+		rt.po.Switch(phase)
+	}
+	rt.phase = phase
+}
+
+// SetProf attaches a profiling observer and opens its first span under
+// the current phase label. Passing nil detaches it without flushing —
+// use EndTrace (or the observer's own Close) to flush.
+func (rt *Runtime) SetProf(po PhaseObserver) {
+	rt.po = po
+	if po != nil {
+		po.Switch(rt.Phase())
+	}
+}
 
 // Phase returns the current traffic label.
 func (rt *Runtime) Phase() string {
@@ -270,6 +301,10 @@ func (rt *Runtime) AdvanceRound() {
 // round, so per-round collectors (series ingestion, the invariant
 // oracle) see the closing round too. A no-op without a collector.
 func (rt *Runtime) EndTrace() {
+	if rt.po != nil {
+		rt.po.Close()
+		rt.po = nil
+	}
 	if rt.tr == nil {
 		return
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"wsnq/internal/alert"
+	"wsnq/internal/prof"
 	"wsnq/internal/report"
 	"wsnq/internal/series"
 )
@@ -23,21 +24,32 @@ const dashboardEvents = 20
 //	/health        JSON analyzer health report (nil an → 404)
 //	/series        JSON per-round time-series snapshot (nil st → 404)
 //	/alerts        JSON alert rules, states, and log (nil eng → 404)
+//	/profilez      JSON per-phase CPU/alloc attribution (nil rec → 404)
 //	/dashboard     self-contained HTML: sparklines, charts, alerts
 //	/debug/pprof/  the standard net/http/pprof profiling hooks
 //	/              a plain-text index of the above
 //
 // Any argument may be nil; the corresponding endpoint then reports
 // 404 instead of serving empty data (the dashboard needs at least a
-// series store).
-func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine) http.Handler {
+// series store). /metrics additionally samples the Go runtime's own
+// health gauges (runtime.*) at scrape time, so every tool exposes GC
+// and heap pressure without a sampling goroutine.
+func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, rec *prof.Recorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if reg == nil {
 			http.NotFound(w, req)
 			return
 		}
+		PublishRuntime(reg)
 		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/profilez", func(w http.ResponseWriter, req *http.Request) {
+		if rec == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, rec.Report())
 	})
 	mux.HandleFunc("/health", func(w http.ResponseWriter, req *http.Request) {
 		if an == nil {
@@ -84,6 +96,7 @@ func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine) h
 		fmt.Fprintln(w, "  /health       network-health report (JSON)")
 		fmt.Fprintln(w, "  /series       per-round time series (JSON)")
 		fmt.Fprintln(w, "  /alerts       alert states and log (JSON)")
+		fmt.Fprintln(w, "  /profilez     per-phase CPU/alloc attribution (JSON)")
 		fmt.Fprintln(w, "  /dashboard    live HTML dashboard")
 		fmt.Fprintln(w, "  /debug/pprof  runtime profiles")
 	})
@@ -170,12 +183,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler on
 // it until ctx is cancelled. It returns the bound address — useful with
 // port 0 — without blocking; the server runs in the background.
-func Serve(ctx context.Context, addr string, reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine) (string, error) {
+func Serve(ctx context.Context, addr string, reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, rec *prof.Recorder) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, an, st, eng)}
+	srv := &http.Server{Handler: Handler(reg, an, st, eng, rec)}
 	go srv.Serve(ln)
 	go func() {
 		<-ctx.Done()

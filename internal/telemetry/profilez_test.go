@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"wsnq/internal/prof"
+)
+
+// profiled builds a recorder with two booked attribution spans, the
+// way a run attaches them: a handle per scope, phase switches in
+// between, flushed by Close.
+func profiled() *prof.Recorder {
+	rec := prof.NewRecorder()
+	h := rec.Attach(context.Background(), "IQ", "algorithm", "IQ")
+	h.Switch("validation")
+	_ = make([]byte, 64<<10)
+	h.Switch("refinement")
+	_ = make([]byte, 128<<10)
+	h.Close()
+	return rec
+}
+
+// TestProfilezEndpoint checks /profilez serves the attribution report
+// as JSON: 200, the Report shape, and the booked scope×phase buckets.
+func TestProfilezEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, profiled()))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/profilez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/profilez status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/profilez content type = %q", ct)
+	}
+	var rep prof.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("/profilez not a prof.Report: %v", err)
+	}
+	if len(rep.Stats) != 2 {
+		t.Fatalf("/profilez stats = %+v, want validation and refinement", rep.Stats)
+	}
+	phases := map[string]bool{}
+	for _, s := range rep.Stats {
+		if s.Scope != "IQ" {
+			t.Errorf("stat scope = %q, want IQ", s.Scope)
+		}
+		phases[s.Phase] = true
+	}
+	if !phases["validation"] || !phases["refinement"] {
+		t.Errorf("phases = %v, want validation and refinement", phases)
+	}
+	if rep.TotalAllocBytes == 0 {
+		t.Error("report shows zero allocated bytes for allocating spans")
+	}
+
+	// The index advertises the endpoint.
+	iresp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(iresp.Body)
+	iresp.Body.Close()
+	if !strings.Contains(string(body), "/profilez") {
+		t.Error("index does not mention /profilez")
+	}
+}
+
+// TestMetricsPublishRuntime checks /metrics samples the Go runtime's
+// health gauges at scrape time — no sampling goroutine needed.
+func TestMetricsPublishRuntime(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil, nil, nil))
+	defer srv.Close()
+	runtime.GC() // /gc/heap/live:bytes is zero until one GC completes
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"runtime.heap_live_bytes", "runtime.goroutines", "runtime.alloc_bytes", "runtime.allocs"} {
+		if snap.Gauges[g] <= 0 {
+			t.Errorf("gauge %s = %v, want > 0 on a live process", g, snap.Gauges[g])
+		}
+	}
+	if _, ok := snap.Gauges["runtime.gc_pause_p95_ms"]; !ok {
+		t.Error("gauge runtime.gc_pause_p95_ms missing")
+	}
+}
+
+// TestDebugPprofProfile drives the sampling endpoints the profiling
+// layer feeds: /debug/pprof/profile?seconds=1 must deliver a CPU
+// profile, and /debug/pprof/goroutine?debug=1 must show the pprof
+// labels of a goroutine running under an attached prof handle — the
+// attribution the phase switches install via SetGoroutineLabels.
+func TestDebugPprofProfile(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, prof.NewRecorder()))
+	defer srv.Close()
+
+	// A worker parked mid-phase, exactly like a simulation goroutine
+	// between rounds: labels installed by Switch stay on the goroutine.
+	rec := prof.NewRecorder()
+	block := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		h := rec.Attach(context.Background(), "LCLL-S", "algorithm", "LCLL-S")
+		h.Switch("refinement")
+		close(parked)
+		<-block
+		h.Close()
+	}()
+	<-parked
+	defer close(block)
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("goroutine profile status = %d", resp.StatusCode)
+	}
+	text := string(body)
+	if !strings.Contains(text, `"algorithm":"LCLL-S"`) || !strings.Contains(text, `"phase":"refinement"`) {
+		t.Errorf("goroutine profile lacks the phase labels:\n%s", text)
+	}
+
+	if testing.Short() {
+		t.Skip("skipping 1s CPU profile capture in -short mode")
+	}
+	resp, err = http.Get(srv.URL + "/debug/pprof/profile?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("CPU profile status = %d: %s", resp.StatusCode, body)
+	}
+	// A pprof profile is gzip-compressed protobuf: 0x1f 0x8b magic.
+	if len(body) < 2 || body[0] != 0x1f || body[1] != 0x8b {
+		t.Errorf("CPU profile does not look like gzipped protobuf (%d bytes)", len(body))
+	}
+}

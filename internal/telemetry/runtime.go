@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"sync"
+
+	"wsnq/internal/prof"
+)
+
+// runtimeSampler backs PublishRuntime; the mutex serializes scrapes
+// (the sampler's sample slice is reused across calls).
+var (
+	runtimeMu      sync.Mutex
+	runtimeSampler = prof.NewRuntimeSampler()
+)
+
+// PublishRuntime samples the Go runtime's health metrics and publishes
+// them as gauges on reg:
+//
+//	runtime.heap_live_bytes   bytes occupied by live heap objects
+//	runtime.goroutines        live goroutine count
+//	runtime.gc_pause_p95_ms   p95 stop-the-world GC pause (lifetime)
+//	runtime.alloc_bytes       cumulative heap bytes allocated
+//	runtime.allocs            cumulative heap objects allocated
+//
+// The /metrics handler calls it at scrape time, so every tool's
+// registry exposes runtime health without a sampling goroutine; tests
+// and tools may call it directly for a deterministic refresh.
+func PublishRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	runtimeMu.Lock()
+	s := runtimeSampler.Sample()
+	runtimeMu.Unlock()
+	reg.Gauge("runtime.heap_live_bytes").Set(float64(s.HeapLiveBytes))
+	reg.Gauge("runtime.goroutines").Set(float64(s.Goroutines))
+	reg.Gauge("runtime.gc_pause_p95_ms").Set(s.GCPauseP95Ms)
+	reg.Gauge("runtime.alloc_bytes").Set(float64(s.AllocBytes))
+	reg.Gauge("runtime.allocs").Set(float64(s.AllocObjects))
+}

@@ -183,10 +183,11 @@ func NewAlerts(rules string) (*Alerts, error) {
 //	metric = frames | messages | joules | bits | validation_bits |
 //	         refinement_bits | shipping_bits | other_bits |
 //	         rank_error | refines | retries | orphans |
-//	         hot_joules | lifetime
+//	         hot_joules | lifetime | heap_bytes | goroutines |
+//	         gc_pause_ms | alloc_bytes | allocs
 //	agg    = last | mean | max | min | sum | p95 | rate | nz
 //	cmp    = ">" | ">=" | "<" | "<="
-//	preset = storm | burnrate | excursion | orphan
+//	preset = storm | burnrate | excursion | orphan | gc | heap
 func ParseAlertRules(spec string) ([]AlertRule, error) {
 	return alert.ParseRules(spec)
 }

@@ -5,6 +5,7 @@ import (
 
 	"wsnq/internal/alert"
 	"wsnq/internal/experiment"
+	"wsnq/internal/prof"
 	"wsnq/internal/series"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
@@ -36,6 +37,13 @@ type Observer struct {
 	Series *Series
 	// Alerts streams every round through declarative alert rules.
 	Alerts *Alerts
+	// Prof attributes CPU time and heap allocations to algorithm×phase
+	// buckets and labels the running goroutine for sampling profiles.
+	// Studies and the query server attach it through this slot; a live
+	// Simulation attaches it with Simulation.SetProf (profiling rides
+	// on phase switches, not on the trace stream, so Collector does not
+	// carry it).
+	Prof *Prof
 	// Key namespaces the series keys this observer writes: studies
 	// prefix every engine key with "Key/", and served queries use it
 	// verbatim as the query's series key.
@@ -59,6 +67,9 @@ func (ob *Observer) apply(o *engineOptions) {
 	}
 	if ob.Alerts != nil {
 		o.exp.Alerts = ob.Alerts.eng
+	}
+	if ob.Prof != nil {
+		o.exp.Prof = ob.Prof.rec
 	}
 	if ob.Key != "" {
 		o.exp.KeyPrefix = ob.Key
@@ -103,6 +114,7 @@ func (ob *Observer) Handler() http.Handler {
 	if ob.Telemetry != nil {
 		ob.Telemetry.AttachSeries(ob.Series)
 		ob.Telemetry.AttachAlerts(ob.Alerts)
+		ob.Telemetry.AttachProf(ob.Prof)
 		return ob.Telemetry.Handler()
 	}
 	var st *series.Store
@@ -113,7 +125,11 @@ func (ob *Observer) Handler() http.Handler {
 	if ob.Alerts != nil {
 		eng = ob.Alerts.eng
 	}
-	return telemetry.Handler(nil, nil, st, eng)
+	var rec *prof.Recorder
+	if ob.Prof != nil {
+		rec = ob.Prof.rec
+	}
+	return telemetry.Handler(nil, nil, st, eng, rec)
 }
 
 // WithObserver attaches an observer bundle to the study: every non-nil

@@ -1,0 +1,61 @@
+package wsnq
+
+import (
+	"context"
+	"io"
+
+	"wsnq/internal/prof"
+)
+
+// This file is the public face of the continuous-profiling layer
+// (internal/prof): per-phase CPU/allocation attribution for studies
+// and live simulations, attachable through the Observer bundle
+// (Observer.Prof) and exposed over HTTP as /profilez.
+
+// ProfReport is a point-in-time attribution snapshot: one bucket per
+// algorithm×phase with CPU seconds, allocated bytes/objects, and each
+// bucket's share of the totals, sorted largest CPU consumer first.
+type ProfReport = prof.Report
+
+// ProfPhaseStat is one attribution bucket of a ProfReport.
+type ProfPhaseStat = prof.PhaseStat
+
+// Prof attributes CPU time and heap allocations to algorithm×phase
+// buckets while a study or live simulation runs, and labels the
+// running goroutine (algorithm, phase, run) for /debug/pprof/profile.
+// Attach it via Observer{Prof: p}; read the attribution at any time
+// with Report, including while the study runs. Like the flight
+// recorder, attaching a Prof forces strictly sequential study
+// execution: the process-global allocation counters are only
+// attributable when one run executes at a time.
+type Prof struct {
+	rec *prof.Recorder
+}
+
+// NewProf returns an empty profiling recorder.
+func NewProf() *Prof {
+	return &Prof{rec: prof.NewRecorder()}
+}
+
+// Report snapshots the attribution buckets accumulated so far.
+func (p *Prof) Report() ProfReport { return p.rec.Report() }
+
+// Reset discards the accumulated attribution.
+func (p *Prof) Reset() { p.rec.Reset() }
+
+// WriteText renders the current report as an aligned table, largest
+// CPU consumer first.
+func (p *Prof) WriteText(w io.Writer) error { return p.rec.Report().WriteText(w) }
+
+// SetProf attaches per-phase CPU/allocation attribution to the
+// simulation under its algorithm name (nil detaches without flushing;
+// FinishTrace flushes the open span). Call before the first Step so
+// the initialization round is attributed too.
+func (s *Simulation) SetProf(p *Prof) {
+	if p == nil {
+		s.rt.SetProf(nil)
+		return
+	}
+	s.rt.SetProf(p.rec.Attach(context.Background(), s.AlgorithmName(),
+		"algorithm", s.AlgorithmName()))
+}

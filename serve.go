@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"wsnq/internal/experiment"
+	"wsnq/internal/prof"
 	"wsnq/internal/serve"
 )
 
@@ -39,7 +40,11 @@ type ServerConfig struct {
 	Workers int
 	// Observer, when non-nil, provides the server-wide observability
 	// surface: its Handler serves the telemetry endpoints every
-	// request outside the query API falls through to.
+	// request outside the query API falls through to. Its Prof slot
+	// additionally attributes every query round's CPU time and heap
+	// allocations to algorithm×phase buckets (stepping queries on a
+	// single worker, like a profiled study) and adds the runtime-health
+	// columns to each query's series points.
 	Observer *Observer
 }
 
@@ -90,12 +95,17 @@ type Server struct {
 
 // NewServer builds an empty query server.
 func NewServer(cfg ServerConfig) *Server {
+	var rec *prof.Recorder
+	if cfg.Observer != nil && cfg.Observer.Prof != nil {
+		rec = cfg.Observer.Prof.rec
+	}
 	return &Server{cfg: cfg, reg: serve.NewRegistry(serve.Config{
 		MaxQueries:       cfg.MaxQueries,
 		ClientQuota:      cfg.ClientQuota,
 		SeriesCapacity:   cfg.SeriesCapacity,
 		SubscriberBuffer: cfg.SubscriberBuffer,
 		Workers:          cfg.Workers,
+		Prof:             rec,
 		Resolve:          func(name string) (experiment.Factory, error) { return factory(Algorithm(name)) },
 	})}
 }

@@ -49,6 +49,7 @@ import (
 	"wsnq/internal/experiment"
 	"wsnq/internal/fault"
 	"wsnq/internal/msg"
+	"wsnq/internal/prof"
 	"wsnq/internal/series"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
@@ -480,6 +481,7 @@ type Telemetry struct {
 	mu  sync.Mutex
 	st  *series.Store
 	eng *alert.Engine
+	rec *prof.Recorder
 }
 
 // NewTelemetry returns an empty telemetry sink. Lifetime projections
@@ -540,26 +542,40 @@ func (t *Telemetry) AttachAlerts(a *Alerts) {
 	t.eng = a.eng
 }
 
-func (t *Telemetry) attached() (*series.Store, *alert.Engine) {
+// AttachProf adds a profiling recorder to the HTTP surface: /profilez
+// starts serving its per-phase CPU/alloc attribution report. A nil p
+// detaches.
+func (t *Telemetry) AttachProf(p *Prof) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.st, t.eng
+	if p == nil {
+		t.rec = nil
+		return
+	}
+	t.rec = p.rec
+}
+
+func (t *Telemetry) attached() (*series.Store, *alert.Engine, *prof.Recorder) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st, t.eng, t.rec
 }
 
 // Handler returns the HTTP exposition surface: /metrics (registry
-// snapshot), /health (health report), /series and /alerts (when
-// attached — see AttachSeries/AttachAlerts), /dashboard, and
-// /debug/pprof.
+// snapshot plus runtime.* health gauges sampled at scrape time),
+// /health (health report), /series, /alerts, and /profilez (when
+// attached — see AttachSeries/AttachAlerts/AttachProf), /dashboard,
+// and /debug/pprof.
 func (t *Telemetry) Handler() http.Handler {
-	st, eng := t.attached()
-	return telemetry.Handler(t.reg, t.an, st, eng)
+	st, eng, rec := t.attached()
+	return telemetry.Handler(t.reg, t.an, st, eng, rec)
 }
 
 // Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler in
 // the background until ctx is cancelled, returning the bound address.
 func (t *Telemetry) Serve(ctx context.Context, addr string) (string, error) {
-	st, eng := t.attached()
-	return telemetry.Serve(ctx, addr, t.reg, t.an, st, eng)
+	st, eng, rec := t.attached()
+	return telemetry.Serve(ctx, addr, t.reg, t.an, st, eng, rec)
 }
 
 // WithTelemetry attaches a live telemetry sink to the study. The engine
@@ -620,7 +636,7 @@ func RunContext(ctx context.Context, cfg Config, alg Algorithm, opts ...Option) 
 	if err != nil {
 		return Metrics{}, err
 	}
-	m, err := experiment.RunContext(ctx, icfg, f, resolveOptions(opts))
+	m, err := experiment.RunNamedContext(ctx, icfg, string(alg), f, resolveOptions(opts))
 	if err != nil {
 		return Metrics{}, err
 	}
