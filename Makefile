@@ -1,7 +1,11 @@
 GO ?= go
 FUZZTIME ?= 5s
+# The staticcheck release `make check` enforces when the binary is
+# installed; install with
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: help build test check bench bench-json bench-diff race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard prof prof-guard chaos serve scenario
+.PHONY: help build test check bench bench-json bench-diff race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard prof prof-guard chaos serve scenario slo slo-guard staticcheck
 
 # help lists the targets; keep the `##` summaries next to the targets
 # they describe.
@@ -9,7 +13,7 @@ help:
 	@echo "wsnq targets:"
 	@echo "  build       compile every package and tool"
 	@echo "  test        run the full test suite"
-	@echo "  check       the merge gate: vet + race + oracle + telemetry + alert + prof + chaos + serve + scenario + fuzz-smoke"
+	@echo "  check       the merge gate: vet + staticcheck + race + oracle + telemetry + alert + prof + chaos + serve + scenario + slo + fuzz-smoke"
 	@echo "  vet         static analysis"
 	@echo "  race        full suite under the race detector"
 	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
@@ -19,6 +23,10 @@ help:
 	@echo "  serve       query-service gate: registry race hammer + seeded 1,000-query load smoke"
 	@echo "  scenario    golden-scenario gate: DSL round-trips, pinned replay digests,"
 	@echo "              live-vs-replay differential, replay speedup, fleet boot"
+	@echo "  slo         SLO gate: spec grammar round-trips, budget-arithmetic"
+	@echo "              goldens, serve /slo surface, and the live-vs-replay"
+	@echo "              budget-trajectory differential"
+	@echo "  slo-guard   per-round SLO evaluation overhead vs the 2% budget (idle machine)"
 	@echo "  prof        profiling gate: attribution unit suite, golden attribution"
 	@echo "              snapshot, /profilez + pprof endpoint coverage, and the"
 	@echo "              allocation-ceiling regression guard"
@@ -112,6 +120,23 @@ scenario:
 	$(GO) test -run '^Test' -v ./internal/scenario/
 	$(GO) test -count=1 -run '^(TestGoldenScenarioReplays|TestScenarioLiveReplayDifferential|TestScenarioReplaySpeedup|TestScenarioServe|TestScenarioSimulationFaults)$$' -v .
 
+# slo gates the SLO engine: the spec grammar and budget/burn-rate unit
+# suite (including the pinned budget-arithmetic goldens), the serve
+# layer's /slo surface and update stamping, and the differential test
+# proving a live run and a replay of its recording produce identical
+# budget trajectories and burn-rate transitions. The timing half (the
+# ≤2% per-round overhead budget) lives in slo-guard.
+slo:
+	$(GO) test -v ./internal/slo/
+	$(GO) test -race -run '^TestSLO' -v ./internal/serve/
+	$(GO) test -count=1 -run '^(TestSLOBudgetGolden|TestSLOLiveReplayDifferential)$$' -v .
+
+# slo-guard measures the serve step path with objectives attached
+# against the plain step path and fails beyond the 2% budget. Timing
+# sensitive — run on an idle machine.
+slo-guard:
+	SLO_GUARD=1 $(GO) test -count=1 -run '^TestSLOOverheadGuard$$' -v .
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on
 # top of the committed corpus (go test -fuzz accepts one target at a
 # time, hence one invocation per target).
@@ -135,16 +160,25 @@ trace-guard:
 series-guard:
 	SERIES_GUARD=1 $(GO) test -count=1 -run '^TestSeriesIngestOverheadGuard$$' -v .
 
-# check is the gate every change must pass: static analysis, the full
-# suite under the race detector (the parallel engine makes this the
-# interesting configuration), the oracle suite, the telemetry gate, the
-# observability gate, the profiling gate, the chaos gate, the
-# query-service gate, the golden-scenario gate, and a fuzz smoke run.
-# staticcheck is advisory: it runs when installed and is skipped (with
-# a note) when not, so the gate stays dependency-free.
-check: vet race oracle telemetry alert prof chaos serve scenario fuzz-smoke
-	@command -v staticcheck >/dev/null 2>&1 && staticcheck ./... \
-		|| echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+# staticcheck is enforced when the pinned binary is installed: any
+# finding fails the gate. Machines without it skip with an install
+# hint, so the gate stays dependency-free; install the pinned release
+# to run what CI runs.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... || exit 1; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+
+# check is the gate every change must pass: static analysis (vet
+# always, staticcheck when installed — see the staticcheck target),
+# the full suite under the race detector (the parallel engine makes
+# this the interesting configuration), the oracle suite, the telemetry
+# gate, the observability gate, the profiling gate, the chaos gate,
+# the query-service gate, the golden-scenario gate, the SLO gate, and
+# a fuzz smoke run.
+check: vet staticcheck race oracle telemetry alert prof chaos serve scenario slo fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem .

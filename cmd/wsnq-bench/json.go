@@ -165,6 +165,36 @@ func runBenchJSON(out string) error {
 		AllocsPerOp: serveRes.AllocsPerOp(),
 	})
 
+	// The SLO evaluation hot path: one Observe across the three
+	// objective signals — what every served query with attached
+	// objectives pays per round on top of its protocol step. Samples
+	// alternate good and bad rounds so the rings, the budget ledger,
+	// and the level classification all do real work.
+	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring ServeSLOEval...")
+	sloRes := testing.Benchmark(func(b *testing.B) {
+		slos, err := wsnq.NewSLOs("rank; fresh; latency")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			slos.Observe("bench", wsnq.SLOSample{
+				Round:     i,
+				RankError: i % 40, // εN = 25 at |N|=500: bad every 26th..39th
+				N:         500,
+				Staleness: i % 3,
+				LatencyMs: float64(i % 60),
+			})
+		}
+	})
+	f.Results = append(f.Results, benchfmt.Result{
+		Name:        "ServeSLOEval",
+		NsPerOp:     float64(sloRes.NsPerOp()),
+		BytesPerOp:  sloRes.AllocedBytesPerOp(),
+		AllocsPerOp: sloRes.AllocsPerOp(),
+	})
+
 	// One whole-study engine sample: a shared-deployment comparison of
 	// the standard line-up (no per-round interpretation).
 	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring EngineCompare...")

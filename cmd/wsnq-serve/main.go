@@ -53,6 +53,8 @@ func main() {
 		dataset    = flag.String("dataset", "synthetic", "fleet: synthetic or pressure")
 		fleetN     = flag.Int("fleet-count", 1, "number of fleets to host (fleet0, fleet1, ...)")
 
+		sloSpec = flag.String("slo", "", "default SLO objectives for every query (ParseSLOSpecs grammar, e.g. \"rank; fresh; latency ms=25\"); budget status lands in updates, GET /slo, and the dashboard")
+
 		maxQueries  = flag.Int("max-queries", 0, "admission control: concurrent query cap (0 = default 4096, negative = unlimited)")
 		clientQuota = flag.Int("client-quota", 0, "admission control: queries per client name (0 = unlimited)")
 		seriesCap   = flag.Int("series-cap", 0, "per-query series store capacity in points (0 = default 64)")
@@ -100,6 +102,14 @@ func main() {
 		}
 		cfg.Nodes = sc.Nodes()
 		cfg.Phi = sc.Phi()
+		if *sloSpec == "" {
+			*sloSpec = sc.SLOSpecs()
+		}
+	}
+	if *sloSpec != "" {
+		if _, err := wsnq.ParseSLOSpecs(*sloSpec); err != nil {
+			sess.Fatal(err)
+		}
 	}
 
 	// The server-wide Observer backs the telemetry fall-through: query
@@ -112,6 +122,7 @@ func main() {
 		SeriesCapacity:   *seriesCap,
 		SubscriberBuffer: *subBuffer,
 		Workers:          *workers,
+		SLO:              *sloSpec,
 		Observer:         ob,
 	})
 	fleets := make([]string, 0, *fleetN)

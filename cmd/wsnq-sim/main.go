@@ -12,6 +12,8 @@
 //	wsnq-sim -scenario testdata/scenarios/lossy-storm.scn          # run a scenario file
 //	wsnq-sim -scenario storm.scn -record storm.rec.jsonl           # ...and capture a recording
 //	wsnq-sim -replay storm.rec.jsonl                               # replay it offline, bit-identically
+//	wsnq-sim -alg IQ -slo "rank; fresh"                            # grade the run against SLO error budgets
+//	wsnq-sim -replay storm.rec.jsonl -replay-window 40:48          # re-drive one exemplar's round span
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"wsnq"
@@ -52,10 +55,12 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve live telemetry on ADDR (/metrics, /health, /series, /alerts, /dashboard, /debug/pprof; forces sequential runs)")
 		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
 		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
+		sloSpec   = flag.String("slo", "", "evaluate SLO objectives over the study's per-round series and print budget statuses (ParseSLOSpecs grammar, e.g. \"rank; fresh\"; forces sequential runs)")
 
 		scenarioFile = flag.String("scenario", "", cli.ScenarioUsage)
 		recordFile   = flag.String("record", "", "with -scenario: capture a replayable JSONL recording to FILE")
 		replayFile   = flag.String("replay", "", "replay a -record recording offline (no simulation) and print its outcome")
+		replayWin    = flag.String("replay-window", "", "with -replay: re-drive only rounds FROM:TO through fresh alert/SLO windows — the exemplar debugging mode (outcome not hash-comparable to live)")
 	)
 	flag.Parse()
 
@@ -67,8 +72,11 @@ func main() {
 		if *scenarioFile != "" || *recordFile != "" {
 			s.Fatalf("-replay is exclusive with -scenario and -record")
 		}
-		replayRecording(s, *replayFile)
+		replayRecording(s, *replayFile, *replayWin)
 		return
+	}
+	if *replayWin != "" {
+		s.Fatalf("-replay-window needs -replay")
 	}
 	if *scenarioFile != "" {
 		runScenario(s, *scenarioFile, *recordFile)
@@ -141,6 +149,22 @@ func main() {
 		ob.Series = wsnq.NewSeries()
 		ob.Telemetry = wsnq.NewTelemetry()
 	}
+	var slos *wsnq.SLOs
+	if *sloSpec != "" {
+		var err error
+		if slos, err = wsnq.NewSLOs(*sloSpec); err != nil {
+			s.Fatal(err)
+		}
+		// Post-hoc evaluation reads the study's series back, so one is
+		// required (it also forces sequential runs, keeping the per-key
+		// round order — and thus the budget trajectories — reproducible).
+		if ob.Series == nil {
+			ob.Series = wsnq.NewSeries()
+		}
+		if ob.Telemetry != nil {
+			ob.Telemetry.AttachSLO(slos)
+		}
+	}
 	var flushTrace func() error
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -189,6 +213,22 @@ func main() {
 	if ob.Alerts != nil {
 		fmt.Println()
 		cli.PrintAlerts(os.Stdout, ob.Alerts.States(), ob.Alerts.Log())
+	}
+
+	if slos != nil {
+		// Re-drive the recorded series through the objectives, one key
+		// at a time; every study ran |N|=cfg.Nodes, which scales the
+		// rank objective's εN tolerance.
+		for _, key := range ob.Series.Keys() {
+			slos.StartRun(key)
+			for _, p := range ob.Series.Points(key) {
+				slos.Observe(key, wsnq.SLOSampleFromPoint(p, cfg.Nodes, 0))
+			}
+		}
+		fmt.Printf("\nSLO budgets:\n%s", slos)
+		for _, ev := range slos.Log() {
+			fmt.Printf("  %s\n", ev.Message)
+		}
 	}
 
 	if ob.Telemetry != nil {
@@ -242,18 +282,46 @@ func runScenario(s *cli.Session, path, recordPath string) {
 
 // replayRecording replays a recording offline and prints the
 // reconstructed outcome — the hash matches the recorded live run's.
-func replayRecording(s *cli.Session, path string) {
+// A non-empty window ("FROM:TO") switches to the exemplar debugging
+// mode: only those recorded rounds re-drive fresh alert/SLO state.
+func replayRecording(s *cli.Session, path, window string) {
 	f, err := os.Open(path)
 	if err != nil {
 		s.Fatal(err)
 	}
 	defer f.Close()
-	out, err := wsnq.ReplayRecording(bufio.NewReader(f))
-	if err != nil {
-		s.Fatal(err)
+	var out *wsnq.ScenarioOutcome
+	if window != "" {
+		from, to, err := parseWindow(window)
+		if err != nil {
+			s.Fatal(err)
+		}
+		if out, err = wsnq.ReplayWindow(bufio.NewReader(f), from, to); err != nil {
+			s.Fatal(err)
+		}
+		fmt.Printf("replayed %s rounds %d..%d (fresh windows — not hash-comparable to live)\n\n", path, from, to)
+	} else {
+		if out, err = wsnq.ReplayRecording(bufio.NewReader(f)); err != nil {
+			s.Fatal(err)
+		}
+		fmt.Printf("replayed %s\n\n", path)
 	}
-	fmt.Printf("replayed %s\n\n", path)
 	printOutcome(out)
+}
+
+// parseWindow parses a "FROM:TO" round range.
+func parseWindow(s string) (from, to int, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("wsnq-sim: -replay-window wants FROM:TO, got %q", s)
+	}
+	if from, err = strconv.Atoi(a); err == nil {
+		to, err = strconv.Atoi(b)
+	}
+	if err != nil || from < 0 || to < from {
+		return 0, 0, fmt.Errorf("wsnq-sim: bad -replay-window %q (want 0 <= FROM <= TO)", s)
+	}
+	return from, to, nil
 }
 
 // printOutcome renders a scenario outcome: per-key metrics (live runs
@@ -276,10 +344,20 @@ func printOutcome(out *wsnq.ScenarioOutcome) {
 	}
 	series := out.Series()
 	verdicts := out.Verdicts()
-	fmt.Printf("\n%d series keys, %d verdicts, %d alert events\n",
-		len(series), len(verdicts), len(out.Alerts()))
+	fmt.Printf("\n%d series keys, %d verdicts, %d alert events, %d SLO events\n",
+		len(series), len(verdicts), len(out.Alerts()), len(out.SLOEvents()))
 	if log := out.Alerts(); len(log) > 0 {
 		fmt.Print(log.String())
+	}
+	if slos := out.SLO(); len(slos) > 0 {
+		fmt.Println("SLO budgets:")
+		for _, st := range slos {
+			fmt.Printf("  %-8s %-20s %-4s burn=%.2f spend=%.0f%% (%d bad / %d rounds)\n",
+				st.SLO, st.Key, st.Level, st.Burn, 100*st.Spend, st.Bad, st.Rounds)
+		}
+		for _, ev := range out.SLOEvents() {
+			fmt.Printf("  %s\n", ev.Message)
+		}
 	}
 	fmt.Printf("outcome sha256 %s\n", out.Hash())
 }

@@ -108,7 +108,7 @@ func main() {
 		reg.Gauge("topology.nodes").Set(float64(top.N()))
 		reg.Gauge("topology.max_depth").Set(float64(top.MaxDepth()))
 		an = telemetry.NewAnalyzer(cfg.Energy.InitialBudget)
-		if err := sess.Serve(*httpAddr, telemetry.Handler(reg, an, st, eng, nil)); err != nil {
+		if err := sess.Serve(*httpAddr, telemetry.Handler(reg, an, st, eng, nil, nil)); err != nil {
 			sess.Fatal(err)
 		}
 		collectors = append(collectors, an)

@@ -94,6 +94,13 @@ var metrics = map[string]func(series.Point) float64{
 	"retries":         func(p series.Point) float64 { return float64(p.Retries) },
 	"orphans":         func(p series.Point) float64 { return float64(p.Orphans) },
 	"hot_joules":      func(p series.Point) float64 { return p.HotJoules },
+	// Fault-visibility and serve-layer columns (PR 5 / the query
+	// service); zero on runs without faults or an SLO tracker.
+	"deficit":   func(p series.Point) float64 { return float64(p.Deficit) },
+	"staleness": func(p series.Point) float64 { return float64(p.Staleness) },
+	"step_ms":   func(p series.Point) float64 { return p.StepMs },
+	"slo_burn":  func(p series.Point) float64 { return p.SLOBurn },
+	"slo_spend": func(p series.Point) float64 { return p.SLOSpend },
 	// Go runtime health columns, populated on profiled runs (an
 	// attached Prof recorder); zero otherwise.
 	"heap_bytes":  func(p series.Point) float64 { return float64(p.HeapLiveBytes) },

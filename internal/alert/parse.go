@@ -14,11 +14,13 @@ import (
 //	metric  = frames | messages | joules | bits | validation_bits |
 //	          refinement_bits | shipping_bits | other_bits |
 //	          rank_error | refines | retries | orphans |
+//	          deficit | staleness | step_ms | slo_burn | slo_spend |
 //	          hot_joules | lifetime | heap_bytes | goroutines |
 //	          gc_pause_ms | alloc_bytes | allocs
 //	agg     = last | mean | max | min | sum | p95 | rate | nz
 //	cmp     = ">" | ">=" | "<" | "<="
-//	preset  = storm | burnrate | excursion | orphan | gc | heap
+//	preset  = storm | burnrate | excursion | orphan | gc | heap |
+//	          sloburn | slospend
 //
 // Omitting the aggregate defaults to last(1) — compare every round's
 // raw value. "rate" is the per-round rate of change across the window;
@@ -50,6 +52,15 @@ import (
 //	heap      — heap growth on a profiled run: live heap over an
 //	            8-round window reaches 256MiB (warn) or 1GiB (crit).
 //	            Only fires on profiled runs, like gc.
+//	sloburn   — SLO budget burn (internal/slo): the slo_burn gauge —
+//	            min(fast, slow) window burn rate, so both windows must
+//	            agree — reaches the SRE playbook thresholds 6 (warn)
+//	            or 14.4 (crit). Only fires on runs with an attached
+//	            SLO tracker (the column is zero otherwise).
+//	slospend  — SLO budget exhaustion: the slo_spend gauge (fraction
+//	            of the rolling error budget consumed) reaches 75%
+//	            (warn) or 100% (crit), like sloburn only on runs with
+//	            an SLO tracker.
 func Presets() []Rule {
 	return []Rule{
 		{Name: "storm", Metric: "refines", Agg: "max", Window: 8, Cmp: ">=", Warn: 2, Crit: 4, HasCrit: true},
@@ -58,6 +69,8 @@ func Presets() []Rule {
 		{Name: "orphan", Metric: "orphans", Agg: "nz", Window: 8, Cmp: ">=", Warn: 1, Crit: 6, HasCrit: true},
 		{Name: "gc", Metric: "gc_pause_ms", Agg: "max", Window: 16, Cmp: ">=", Warn: 5, Crit: 50, HasCrit: true},
 		{Name: "heap", Metric: "heap_bytes", Agg: "max", Window: 8, Cmp: ">=", Warn: 256 << 20, Crit: 1 << 30, HasCrit: true},
+		{Name: "sloburn", Metric: "slo_burn", Agg: "last", Window: 1, Cmp: ">=", Warn: 6, Crit: 14.4, HasCrit: true},
+		{Name: "slospend", Metric: "slo_spend", Agg: "last", Window: 1, Cmp: ">=", Warn: 0.75, Crit: 1, HasCrit: true},
 	}
 }
 
@@ -120,7 +133,7 @@ func ParseRule(s string) (Rule, error) {
 
 	cmpIdx := strings.IndexAny(expr, "<>")
 	if cmpIdx < 0 {
-		return Rule{}, fmt.Errorf("alert: %q is neither a preset (storm, burnrate, excursion, orphan, gc, heap) nor a threshold expression", expr)
+		return Rule{}, fmt.Errorf("alert: %q is neither a preset (storm, burnrate, excursion, orphan, gc, heap, sloburn, slospend) nor a threshold expression", expr)
 	}
 	cmp := expr[cmpIdx : cmpIdx+1]
 	rest := expr[cmpIdx+1:]

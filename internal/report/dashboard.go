@@ -37,12 +37,24 @@ type DashAlert struct {
 	Since int
 }
 
+// DashSLO is one objective × key budget row for the SLO panel.
+type DashSLO struct {
+	Name   string
+	Key    string
+	Signal string
+	Level  string  // "ok", "warn", "crit"
+	Burn   float64 // min(fast, slow) burn rate
+	Spend  float64 // error-budget spend fraction (1 = exhausted)
+	Since  int
+}
+
 // DashData is everything the dashboard page shows.
 type DashData struct {
 	Title      string
 	RefreshSec int // <meta http-equiv=refresh> period; 0 disables
 	Series     []DashSeries
 	Alerts     []DashAlert
+	SLOs       []DashSLO
 	Events     []string // recent alert-log messages, oldest first
 }
 
@@ -142,6 +154,21 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 			fmt.Fprintf(&b,
 				"<tr><td>%s</td><td>%s</td><td class=\"lvl\" style=\"color:%s\">%s</td><td class=\"num\">%g</td><td class=\"num\">%d</td></tr>\n",
 				esc(a.Rule), esc(a.Key), color, esc(a.Level), a.Value, a.Since)
+		}
+		b.WriteString("</table>\n")
+	}
+	// SLO error-budget panel, only when objectives are attached.
+	if len(d.SLOs) > 0 {
+		b.WriteString("<h2>SLO error budgets</h2>\n")
+		b.WriteString("<table><tr><th>slo</th><th>key</th><th>signal</th><th>level</th><th>burn</th><th>budget spent</th><th>since round</th></tr>\n")
+		for _, s := range d.SLOs {
+			color := levelColors[s.Level]
+			if color == "" {
+				color = "#222"
+			}
+			fmt.Fprintf(&b,
+				"<tr><td>%s</td><td>%s</td><td>%s</td><td class=\"lvl\" style=\"color:%s\">%s</td><td class=\"num\">%.2f</td><td class=\"num\">%.0f%%</td><td class=\"num\">%d</td></tr>\n",
+				esc(s.Name), esc(s.Key), esc(s.Signal), color, esc(s.Level), s.Burn, 100*s.Spend, s.Since)
 		}
 		b.WriteString("</table>\n")
 	}

@@ -29,6 +29,9 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add("arq off\n")
 	f.Add("arq retries=2 dead=4\n")
 	f.Add("alerts storm=frames:mean(5)>400; err=rank_error:max(3)>=10,20\n")
+	f.Add("slo rank\n")
+	f.Add("slo rank epsilon=0.02 objective=0.999\nslo fresh stale=2\nslo latency ms=25 fast=4 slow=32 warn=3 crit=10\n")
+	f.Add("slo bogus\nslo rank epsilon=\nslo rank name=a\nslo rank name=a\n")
 	f.Add("sweep loss 0.05,0.1,0.2\n")
 	f.Add("sweep nodes 10,20,40\n")
 	f.Add("# comment\n\nnodes 12\n")

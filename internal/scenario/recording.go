@@ -8,6 +8,7 @@ import (
 
 	"wsnq/internal/alert"
 	"wsnq/internal/series"
+	"wsnq/internal/slo"
 )
 
 // Recording format constants. The version bumps on any change to the
@@ -123,6 +124,12 @@ func Replay(r io.Reader) (*Outcome, error) {
 		eng.DefaultBudget(cfg.Energy.InitialBudget)
 		sinks = append(sinks, eng.Observe)
 	}
+	var tracker *slo.Tracker
+	if len(s.SLOs) > 0 {
+		if tracker, err = slo.NewTracker(s.SLOs...); err != nil {
+			return nil, err
+		}
+	}
 
 	out := &Outcome{Scenario: s, Replayed: true}
 	sc := bufio.NewScanner(br)
@@ -143,12 +150,20 @@ func Replay(r io.Reader) (*Outcome, error) {
 			if eng != nil {
 				eng.StartRun(rec.Run.Key)
 			}
+			if tracker != nil {
+				tracker.StartRun(rec.Run.Key)
+			}
 		case rec.Round != nil:
 			rr := rec.Round
 			stamped := store.Add(rr.Key, rr.Point, sinks...)
 			if stamped.Round != rr.Point.Round {
 				return nil, fmt.Errorf("scenario: recording line %d: key %q replays round %d where the recording says %d (truncated or reordered stream)",
 					lineNo, rr.Key, stamped.Round, rr.Point.Round)
+			}
+			if tracker != nil {
+				// lineNo is this round record's line — the same offset
+				// the live recorder stamped, so exemplars agree.
+				tracker.Observe(rr.Key, slo.SampleFromPoint(stamped, s.measurementsFor(rr.Key), int64(lineNo)))
 			}
 			out.Verdicts = append(out.Verdicts, Verdict{
 				Key: rr.Key, Round: stamped.Round,
@@ -166,6 +181,115 @@ func Replay(r io.Reader) (*Outcome, error) {
 	out.Series = store.Snapshot()
 	if eng != nil {
 		out.Alerts = eng.Log()
+	}
+	if tracker != nil {
+		out.SLO = tracker.Statuses()
+		out.SLOEvents = tracker.Log()
+	}
+	return out, nil
+}
+
+// ReplayWindow re-drives only the rounds in [from, to] (as recorded)
+// through fresh rule state — the exemplar debugging mode behind
+// `wsnq-sim -replay -replay-window FROM:TO`. An SLO exemplar names the
+// round span that tripped a burn-rate transition; replaying just that
+// span shows how the windows filled, without the hours of healthy
+// rounds around it.
+//
+// Unlike Replay, the outcome is not hash-comparable to the live run:
+// the series store rebases the filtered rounds to 0 and the alert and
+// SLO windows start cold at the window's edge (primed with good
+// rounds, exactly like a fresh tracker). Verdicts keep their recorded
+// round numbers so they line up with the exemplar.
+func ReplayWindow(r io.Reader, from, to int) (*Outcome, error) {
+	if from < 0 || to < from {
+		return nil, fmt.Errorf("scenario: replay window %d:%d is not a round range", from, to)
+	}
+	br := bufio.NewReaderSize(r, 64<<10)
+	_, s, err := ReadHeader(br)
+	if err != nil {
+		return nil, err
+	}
+
+	store := series.New(s.Capacity)
+	var eng *alert.Engine
+	var sinks []series.Sink
+	if len(s.Alerts) > 0 {
+		eng, err = alert.NewEngine(s.Alerts...)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := s.Config()
+		if err != nil {
+			return nil, err
+		}
+		eng.DefaultBudget(cfg.Energy.InitialBudget)
+		sinks = append(sinks, eng.Observe)
+	}
+	var tracker *slo.Tracker
+	if len(s.SLOs) > 0 {
+		if tracker, err = slo.NewTracker(s.SLOs...); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &Outcome{Scenario: s, Replayed: true}
+	sc := bufio.NewScanner(br)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec fileRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("scenario: recording line %d: %w", lineNo, err)
+		}
+		switch {
+		case rec.Run != nil:
+			if eng != nil {
+				eng.StartRun(rec.Run.Key)
+			}
+			if tracker != nil {
+				tracker.StartRun(rec.Run.Key)
+			}
+		case rec.Round != nil:
+			rr := rec.Round
+			if rr.Point.Round < from || rr.Point.Round > to {
+				continue
+			}
+			// The store rebases the window to round 0; rules and the
+			// SLO tracker observe the point with its recorded round so
+			// their events reference the same rounds the exemplar does.
+			store.Add(rr.Key, rr.Point)
+			for _, sink := range sinks {
+				sink(rr.Key, rr.Point)
+			}
+			if tracker != nil {
+				tracker.Observe(rr.Key, slo.SampleFromPoint(rr.Point, s.measurementsFor(rr.Key), int64(lineNo)))
+			}
+			out.Verdicts = append(out.Verdicts, Verdict{
+				Key: rr.Key, Round: rr.Point.Round,
+				Answer: rr.Answer, K: rr.K, RankErr: rr.RankErr,
+			})
+		case rec.Header != nil:
+			return nil, fmt.Errorf("scenario: recording line %d: unexpected second header", lineNo)
+		default:
+			return nil, fmt.Errorf("scenario: recording line %d: unknown record", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: reading recording: %w", err)
+	}
+	out.Series = store.Snapshot()
+	if eng != nil {
+		out.Alerts = eng.Log()
+	}
+	if tracker != nil {
+		out.SLO = tracker.Statuses()
+		out.SLOEvents = tracker.Log()
 	}
 	return out, nil
 }

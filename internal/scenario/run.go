@@ -12,6 +12,7 @@ import (
 	"wsnq/internal/alert"
 	"wsnq/internal/experiment"
 	"wsnq/internal/series"
+	"wsnq/internal/slo"
 	"wsnq/internal/trace"
 )
 
@@ -28,17 +29,21 @@ type Verdict struct {
 }
 
 // Outcome is the result of running (or replaying) a scenario: the full
-// series store snapshot, the alert log, and the per-round verdicts.
-// Metrics is populated on live runs only — replay reconstructs streams,
-// not simulator aggregates — and is therefore excluded from Hash, which
-// digests exactly the replayable state.
+// series store snapshot, the alert log, the per-round verdicts, and —
+// when the scenario declares SLOs — the final budget statuses and the
+// burn-rate transition log. Metrics is populated on live runs only —
+// replay reconstructs streams, not simulator aggregates — and is
+// therefore excluded from Hash, which digests exactly the replayable
+// state.
 type Outcome struct {
-	Scenario *Scenario
-	Replayed bool
-	Series   map[string]series.Snapshot
-	Alerts   []alert.Event
-	Verdicts []Verdict
-	Metrics  map[string]experiment.Metrics
+	Scenario  *Scenario
+	Replayed  bool
+	Series    map[string]series.Snapshot
+	Alerts    []alert.Event
+	Verdicts  []Verdict
+	SLO       []slo.Status
+	SLOEvents []slo.Event
+	Metrics   map[string]experiment.Metrics
 }
 
 // Hash digests the replay-invariant outcome state — scenario identity,
@@ -64,6 +69,16 @@ func (o *Outcome) Hash() string {
 	for _, v := range o.Verdicts {
 		b, _ := json.Marshal(v)
 		fmt.Fprintf(h, "verdict %s\n", b)
+	}
+	// SLO lines appear only when the scenario declares objectives, so
+	// the digests of SLO-free scenarios are unchanged.
+	for _, st := range o.SLO {
+		b, _ := json.Marshal(st)
+		fmt.Fprintf(h, "slo %s\n", b)
+	}
+	for _, e := range o.SLOEvents {
+		b, _ := json.Marshal(e)
+		fmt.Fprintf(h, "sloevent %s\n", b)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -99,7 +114,16 @@ func Record(ctx context.Context, s *Scenario, w io.Writer) (*Outcome, error) {
 			return nil, err
 		}
 	}
-	rec := &recorder{pending: make(map[string]decision)}
+	var tracker *slo.Tracker
+	if len(s.SLOs) > 0 {
+		if tracker, err = slo.NewTracker(s.SLOs...); err != nil {
+			return nil, err
+		}
+	}
+	// lines starts at 1 — the header — whether or not a recording is
+	// written: exemplar offsets must come out identical for Run, Record,
+	// and Replay so live and replayed SLO trajectories hash alike.
+	rec := &recorder{pending: make(map[string]decision), sc: s, slo: tracker, lines: 1}
 	if w != nil {
 		rec.enc = json.NewEncoder(w)
 		rec.emit(fileRecord{Header: &Header{
@@ -153,6 +177,10 @@ func Record(ctx context.Context, s *Scenario, w io.Writer) (*Outcome, error) {
 	if eng != nil {
 		out.Alerts = eng.Log()
 	}
+	if tracker != nil {
+		out.SLO = tracker.Statuses()
+		out.SLOEvents = tracker.Log()
+	}
 	return out, nil
 }
 
@@ -170,6 +198,9 @@ type decision struct {
 // pairing the pending decision with the next point is lossless.
 type recorder struct {
 	enc      *json.Encoder // nil when running without a recording
+	sc       *Scenario
+	slo      *slo.Tracker // nil without slo declarations
+	lines    int          // recording lines so far (header = 1), kept even unrecorded
 	pending  map[string]decision
 	verdicts []Verdict
 	err      error
@@ -186,7 +217,11 @@ func (r *recorder) emit(rec fileRecord) {
 // tap per grid job.
 func (r *recorder) traceFor(job experiment.TraceJob) trace.Collector {
 	key := experiment.SeriesKeyFor(job, "")
+	r.lines++
 	r.emit(fileRecord{Run: &runMarker{Key: key}})
+	if r.slo != nil {
+		r.slo.StartRun(key)
+	}
 	return &decisionTap{rec: r, key: key}
 }
 
@@ -196,9 +231,15 @@ func (r *recorder) point(key string, p series.Point) {
 	delete(r.pending, key)
 	v := Verdict{Key: key, Round: p.Round, Answer: d.answer, K: d.k, RankErr: d.rankErr}
 	r.verdicts = append(r.verdicts, v)
+	r.lines++
 	r.emit(fileRecord{Round: &roundRecord{
 		Key: key, Answer: v.Answer, K: v.K, RankErr: v.RankErr, Point: p,
 	}})
+	if r.slo != nil {
+		// The round record just written (or that a recording would hold)
+		// lives at line r.lines — the exemplar offset replay seeks to.
+		r.slo.Observe(key, slo.SampleFromPoint(p, r.sc.measurementsFor(key), int64(r.lines)))
+	}
 }
 
 // decisionTap parks each root decision until the round's point arrives.

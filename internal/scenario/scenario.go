@@ -25,9 +25,10 @@
 //	fault PLAN                         fault DSL (internal/fault); repeatable
 //	arq off | arq retries=N dead=N     link-layer recovery override
 //	alerts RULES                       alert rule grammar (internal/alert)
+//	slo SPEC                           one SLO (internal/slo grammar); repeatable
 //	sweep AXIS V1,V2,...               one axis: nodes phi loss range rounds period noise
 //
-// Every key except fault appears at most once. Parse materializes the
+// Every key except fault and slo appears at most once. Parse materializes the
 // defaults, so String always emits a complete canonical file and
 // Parse(s.String()) reproduces s exactly — the fuzz-checked round-trip
 // contract that makes the scenario text itself a stable content hash.
@@ -47,6 +48,7 @@ import (
 	"wsnq/internal/fault"
 	"wsnq/internal/series"
 	"wsnq/internal/sim"
+	"wsnq/internal/slo"
 )
 
 // Scenario is one parsed, validated scenario. Fields mirror the file
@@ -72,6 +74,7 @@ type Scenario struct {
 	Faults *fault.Plan
 	ARQ    *sim.ARQConfig
 	Alerts []alert.Rule
+	SLOs   []slo.Spec
 	Sweep  *Sweep
 }
 
@@ -152,7 +155,7 @@ func Parse(src string) (*Scenario, error) {
 		if rest == "" {
 			return nil, fmt.Errorf("scenario: line %d: key %q needs a value", ln+1, key)
 		}
-		if key != "fault" {
+		if key != "fault" && key != "slo" {
 			if seen[key] {
 				return nil, fmt.Errorf("scenario: line %d: duplicate key %q", ln+1, key)
 			}
@@ -232,6 +235,12 @@ func (s *Scenario) apply(key, rest string) error {
 			return err
 		}
 		s.Alerts = rules
+	case "slo":
+		sp, err := slo.ParseSpec(rest)
+		if err != nil {
+			return err
+		}
+		s.SLOs = append(s.SLOs, sp)
 	case "sweep":
 		return s.applySweep(rest)
 	default:
@@ -428,6 +437,16 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: alert rule %s has a non-finite threshold", r.Name)
 		}
 	}
+	sloNames := map[string]bool{}
+	for _, sp := range s.SLOs {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		if sloNames[sp.Name] {
+			return fmt.Errorf("scenario: duplicate slo name %q", sp.Name)
+		}
+		sloNames[sp.Name] = true
+	}
 	if sw := s.Sweep; sw != nil {
 		if !sweepAxes[sw.Axis] {
 			return fmt.Errorf("scenario: sweep axis %q (want nodes, phi, loss, range, rounds, period, or noise)", sw.Axis)
@@ -580,6 +599,9 @@ func (s *Scenario) String() string {
 		}
 		line("alerts", strings.Join(parts, "; "))
 	}
+	for _, sp := range s.SLOs {
+		line("slo", sp.String())
+	}
 	if s.Sweep != nil {
 		vals := make([]string, len(s.Sweep.Values))
 		for i, v := range s.Sweep.Values {
@@ -606,6 +628,26 @@ func (s *Scenario) AlertSpec() string {
 		parts[i] = r.String()
 	}
 	return strings.Join(parts, "; ")
+}
+
+// SLOSpec renders the SLO declarations back into the slo.ParseSpecs
+// grammar ("" when the scenario has none).
+func (s *Scenario) SLOSpec() string { return slo.FormatSpecs(s.SLOs) }
+
+// measurementsFor returns the per-round measurement population behind
+// one series key — the N that scales the εN rank bound. Keys of a
+// nodes-swept scenario carry the variant's node count as their label
+// prefix ("120/IQ"); every other key uses the scenario's own shape.
+func (s *Scenario) measurementsFor(key string) int {
+	n := s.Nodes
+	if s.Sweep != nil && s.Sweep.Axis == "nodes" {
+		if label, _, ok := strings.Cut(key, "/"); ok {
+			if v, err := strconv.ParseFloat(label, 64); err == nil {
+				n = int(v)
+			}
+		}
+	}
+	return n * s.Values
 }
 
 // Config assembles the experiment cell the scenario describes (the

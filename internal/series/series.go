@@ -46,9 +46,10 @@ const (
 
 // Point is one sample of a key's time series covering Span consecutive
 // rounds starting at Round. Additive fields (frames, messages, joules,
-// refines, retries, the phase bit buckets) sum over the span;
-// RankError and Orphans keep the worst round; HotJoules is the running
-// per-node cumulative-drain maximum at the end of the span.
+// refines, retries, step latency, the phase bit buckets) sum over the
+// span; RankError, Orphans, Deficit, and Staleness keep the worst
+// round; HotJoules is the running per-node cumulative-drain maximum at
+// the end of the span.
 type Point struct {
 	Round          int     `json:"round"`
 	Span           int     `json:"span"`
@@ -64,6 +65,21 @@ type Point struct {
 	ShippingBits   int     `json:"shipping_bits"`
 	OtherBits      int     `json:"other_bits"`
 	HotJoules      float64 `json:"hot_joules"`
+
+	// Fault-visibility and serve-layer columns, populated only when the
+	// corresponding signal exists — omitempty keeps recordings and
+	// golden digests from fault-free, unserved runs byte-identical.
+	// Deficit (missing sensors plus lost subtree measurements) and
+	// Staleness (rounds since full coverage) keep the worst round of
+	// the span; StepMs sums the serve layer's wall-clock answer latency
+	// over the span; SLOBurn and SLOSpend are end-of-span gauges from
+	// an attached slo.Tracker (worst burn rate / budget spend across
+	// the key's objectives).
+	Deficit   int     `json:"deficit,omitempty"`
+	Staleness int     `json:"staleness,omitempty"`
+	StepMs    float64 `json:"step_ms,omitempty"`
+	SLOBurn   float64 `json:"slo_burn,omitempty"`
+	SLOSpend  float64 `json:"slo_spend,omitempty"`
 
 	// Runtime health metrics (internal/prof), populated only when the
 	// profiling layer is attached — omitempty keeps recordings and
@@ -125,6 +141,15 @@ func merge(a, b Point) Point {
 	if b.RankError > a.RankError {
 		a.RankError = b.RankError
 	}
+	if b.Deficit > a.Deficit {
+		a.Deficit = b.Deficit
+	}
+	if b.Staleness > a.Staleness {
+		a.Staleness = b.Staleness
+	}
+	a.StepMs += b.StepMs
+	a.SLOBurn = b.SLOBurn
+	a.SLOSpend = b.SLOSpend
 	a.HotJoules = b.HotJoules
 	a.AllocBytes += b.AllocBytes
 	a.AllocObjects += b.AllocObjects
@@ -380,6 +405,14 @@ type Totals struct {
 	Joules         float64 // network-wide cumulative consumption
 	HotJoules      float64 // hottest single node's cumulative consumption
 
+	// Serve-layer columns (zero outside the query service): StepMs is
+	// the cumulative wall-clock answer latency — diffed per round like
+	// the traffic counters — and the SLO pair are instantaneous gauges
+	// read from the query's slo.Tracker after the round's evaluation.
+	StepMs   float64 // cumulative answer latency, ms
+	SLOBurn  float64 // worst SLO burn rate at sample time
+	SLOSpend float64 // worst SLO budget spend at sample time
+
 	// Runtime health counters (zero when the profiling layer is not
 	// attached): cumulative process heap allocations — diffed per round
 	// like the traffic counters — plus instantaneous gauges.
@@ -423,6 +456,8 @@ type totalsIngester struct {
 	rankErr int
 	refines int
 	orphans int
+	deficit int
+	stale   int
 }
 
 func (in *totalsIngester) Collect(e trace.Event) {
@@ -441,6 +476,7 @@ func (in *totalsIngester) Collect(e trace.Event) {
 			in.primed = true
 		}
 		in.rankErr, in.refines, in.orphans = 0, 0, 0
+		in.deficit, in.stale = 0, 0
 		in.open = true
 	case trace.KindRoundEnd:
 		if !in.open {
@@ -457,9 +493,14 @@ func (in *totalsIngester) Collect(e trace.Event) {
 			Refines:        in.refines,
 			Retries:        t.Retries - in.prev.Retries,
 			Orphans:        in.orphans,
+			Deficit:        in.deficit,
+			Staleness:      in.stale,
 			ValidationBits: t.ValidationBits - in.prev.ValidationBits,
 			RefinementBits: t.RefinementBits - in.prev.RefinementBits,
 			ShippingBits:   t.ShippingBits - in.prev.ShippingBits,
+			StepMs:         t.StepMs - in.prev.StepMs,
+			SLOBurn:        t.SLOBurn,
+			SLOSpend:       t.SLOSpend,
 			HotJoules:      t.HotJoules,
 			AllocBytes:     t.AllocBytes - in.prev.AllocBytes,
 			AllocObjects:   t.AllocObjects - in.prev.AllocObjects,
@@ -483,6 +524,12 @@ func (in *totalsIngester) Collect(e trace.Event) {
 	case trace.KindDegraded:
 		if e.Values > in.orphans {
 			in.orphans = e.Values
+		}
+		if e.Err > in.deficit {
+			in.deficit = e.Err
+		}
+		if e.Aux > in.stale {
+			in.stale = e.Aux
 		}
 	}
 }
@@ -552,6 +599,12 @@ func (in *ingester) Collect(e trace.Event) {
 	case trace.KindDegraded:
 		if e.Values > in.cur.Orphans {
 			in.cur.Orphans = e.Values
+		}
+		if e.Err > in.cur.Deficit {
+			in.cur.Deficit = e.Err
+		}
+		if e.Aux > in.cur.Staleness {
+			in.cur.Staleness = e.Aux
 		}
 	case trace.KindEnergy:
 		in.cur.Joules += e.Joules

@@ -8,6 +8,7 @@ import (
 
 	"wsnq/internal/alert"
 	"wsnq/internal/series"
+	"wsnq/internal/slo"
 )
 
 // viewAlertEvents bounds the alert events echoed in a query view.
@@ -16,6 +17,7 @@ const viewAlertEvents = 20
 // Handler returns the registry's HTTP/JSON API:
 //
 //	GET    /serve                registry status (round, queries, dropped)
+//	GET    /slo                  per-query SLO budget status across the registry
 //	GET    /fleets               registered fleets
 //	GET    /queries              registered query summaries
 //	POST   /queries              register (Spec JSON body) → 201 + view
@@ -34,6 +36,9 @@ func Handler(r *Registry, next http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /serve", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, statusView(r))
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, SLOView(r))
 	})
 	mux.HandleFunc("GET /fleets", func(w http.ResponseWriter, req *http.Request) {
 		fleets := r.Fleets()
@@ -168,6 +173,45 @@ func statusView(r *Registry) StatusView {
 	}
 }
 
+// QuerySLO is one query's SLO budget state in the GET /slo response:
+// the declared objectives (canonical grammar), the per-objective
+// budget statuses after the latest Advance, and the tail of the
+// burn-rate transition log.
+type QuerySLO struct {
+	Query    string       `json:"query"`
+	Key      string       `json:"key"`
+	Specs    []string     `json:"specs"`
+	Statuses []slo.Status `json:"statuses,omitempty"`
+	Events   []slo.Event  `json:"events,omitempty"`
+	Dropped  int          `json:"dropped_events,omitempty"`
+}
+
+// SLOView assembles the GET /slo response: one entry per query with
+// attached objectives, sorted by query ID. Queries without objectives
+// are omitted; an empty registry yields an empty list.
+func SLOView(r *Registry) []QuerySLO {
+	out := make([]QuerySLO, 0, 4)
+	for _, q := range r.Queries() {
+		tr := q.SLO()
+		if tr == nil {
+			continue
+		}
+		v := QuerySLO{Query: q.ID(), Key: q.Spec().Key}
+		for _, sp := range tr.Specs() {
+			v.Specs = append(v.Specs, sp.String())
+		}
+		v.Statuses = tr.StatusesFor(q.Spec().Key)
+		events := tr.Log()
+		if len(events) > viewAlertEvents {
+			events = events[len(events)-viewAlertEvents:]
+		}
+		v.Events = events
+		v.Dropped = tr.Dropped()
+		out = append(out, v)
+	}
+	return out
+}
+
 type fleetView struct {
 	Name  string  `json:"name"`
 	Nodes int     `json:"nodes"`
@@ -214,6 +258,7 @@ type QueryView struct {
 	Alerts  []alert.State                 `json:"alerts,omitempty"`
 	Events  []alert.Event                 `json:"alert_events,omitempty"`
 	Dropped int                           `json:"dropped_alert_events,omitempty"`
+	SLO     []slo.Status                  `json:"slo,omitempty"`
 }
 
 // View assembles a query's full view — what GET /queries/{id} serves
@@ -241,6 +286,9 @@ func View(q *Query) QueryView {
 		}
 		v.Events = events
 		v.Dropped = eng.Dropped()
+	}
+	if tr := q.SLO(); tr != nil {
+		v.SLO = tr.StatusesFor(key)
 	}
 	return v
 }

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wsnq/internal/alert"
 	"wsnq/internal/energy"
@@ -34,6 +35,7 @@ import (
 	"wsnq/internal/protocol"
 	"wsnq/internal/series"
 	"wsnq/internal/sim"
+	"wsnq/internal/slo"
 )
 
 // Admission and sizing defaults.
@@ -81,6 +83,11 @@ type Config struct {
 	// Resolve maps an algorithm name to its constructor. Nil selects
 	// the standard line-up (experiment.StandardAlgorithms).
 	Resolve func(name string) (experiment.Factory, error)
+	// SLO, when non-empty, is the registry-default service-level
+	// objective spec (slo.ParseSpecs grammar) attached to every query
+	// that does not declare its own; queries evaluate their objectives
+	// at each Advance and stamp budget status into their Updates.
+	SLO string
 }
 
 // Spec describes one continuous query registration. The wire-visible
@@ -110,6 +117,10 @@ type Spec struct {
 	Window int `json:"window,omitempty"`
 	// Key labels the query's series; empty selects "<id>/<algorithm>".
 	Key string `json:"key,omitempty"`
+	// SLO declares the query's service-level objectives (slo.ParseSpecs
+	// grammar, e.g. "rank epsilon=0.02; latency ms=50"); empty inherits
+	// the registry default (Config.SLO).
+	SLO string `json:"slo,omitempty"`
 
 	// Series, when non-nil, receives the query's per-round points
 	// instead of a registry-built private store.
@@ -117,6 +128,9 @@ type Spec struct {
 	// Alerts, when non-nil, evaluates the query's rounds instead of an
 	// engine built from Rules.
 	Alerts *alert.Engine `json:"-"`
+	// SLOTracker, when non-nil, evaluates the query's rounds instead of
+	// a tracker built from SLO / the registry default.
+	SLOTracker *slo.Tracker `json:"-"`
 }
 
 // Update is one query round's published result: the answer the
@@ -133,7 +147,25 @@ type Update struct {
 	Joules    float64 `json:"joules"` // cumulative network-wide drain
 	Frames    int     `json:"frames"` // cumulative link-layer frames
 
+	// Degraded-answer status (PR 5 semantics, zero on fully covered
+	// rounds): whether the answer was computed with incomplete sensor
+	// coverage, how many rounds since the last fully covered answer,
+	// and how many sensors were unreachable.
+	Degraded  bool `json:"degraded,omitempty"`
+	Staleness int  `json:"staleness,omitempty"`
+	Missing   int  `json:"missing,omitempty"`
+
+	// LatencyMs is the wall-clock time this round's answer took to
+	// compute; measured (and the SLO fields below populated) only on
+	// queries with attached service-level objectives.
+	LatencyMs float64 `json:"latency_ms,omitempty"`
+
 	Alerts []alert.Event `json:"alerts,omitempty"`
+	// SLO is the refreshed budget status of each of the query's
+	// objectives after this round; SLOEvents are the burn-rate level
+	// transitions the round fired, exemplars included.
+	SLO       []slo.Status `json:"slo,omitempty"`
+	SLOEvents []slo.Event  `json:"slo_events,omitempty"`
 	// Failed carries the error text of a query whose protocol step
 	// failed; the query stops advancing but stays registered for
 	// inspection until deregistered.
@@ -357,6 +389,22 @@ func buildQuery(spec Spec, cfg experiment.Config, fleet *Fleet, rcfg Config) (*Q
 	if store == nil {
 		store = series.New(rcfg.SeriesCapacity)
 	}
+	tracker := spec.SLOTracker
+	if tracker == nil {
+		sloSpec := spec.SLO
+		if sloSpec == "" {
+			sloSpec = rcfg.SLO
+		}
+		if sloSpec != "" {
+			specs, err := slo.ParseSpecs(sloSpec)
+			if err != nil {
+				return nil, err
+			}
+			if tracker, err = slo.NewTracker(specs...); err != nil {
+				return nil, err
+			}
+		}
+	}
 	q := &Query{
 		id:     spec.ID,
 		spec:   spec,
@@ -366,6 +414,7 @@ func buildQuery(spec Spec, cfg experiment.Config, fleet *Fleet, rcfg Config) (*Q
 		alg:    factory(),
 		store:  store,
 		eng:    eng,
+		slo:    tracker,
 		subBuf: rcfg.SubscriberBuffer,
 	}
 	var sinks []series.Sink
@@ -381,6 +430,24 @@ func buildQuery(spec Spec, cfg experiment.Config, fleet *Fleet, rcfg Config) (*Q
 	sampler := experiment.SeriesSampler(rt)
 	if rcfg.Prof != nil {
 		sampler = experiment.ProfSeriesSampler(rt)
+	}
+	if tracker != nil {
+		// Fold the serve-layer columns into each round's sample: the
+		// cumulative answer latency (diffed per round by the ingester)
+		// and the post-evaluation SLO gauges. The closing sample of
+		// round r is read during round r+1's AdvanceRound, after round
+		// r's evaluation, so the gauges line up with their round. The
+		// wrap costs one closure per sample and exists only on queries
+		// with objectives, keeping the no-SLO step path untouched.
+		tracker.StartRun(spec.Key)
+		base := sampler
+		key := spec.Key
+		sampler = func() series.Totals {
+			t := base()
+			t.StepMs = q.stepMs
+			t.SLOBurn, t.SLOSpend = tracker.Gauges(key)
+			return t
+		}
 	}
 	rt.SetTrace(store.IngestTotals(spec.Key, sampler, sinks...))
 	if rcfg.Prof != nil {
@@ -524,10 +591,13 @@ type Query struct {
 	alg     protocol.Algorithm
 	store   *series.Store
 	eng     *alert.Engine
+	slo     *slo.Tracker
 	inited  bool
 	closed  bool
 	round   int
-	alertAt int // absolute alert-log cursor (alert.Engine.LogSince)
+	alertAt int     // absolute alert-log cursor (alert.Engine.LogSince)
+	sloAt   int     // absolute SLO-event cursor (slo.Tracker.LogSince)
+	stepMs  float64 // cumulative answer latency, sampled into the series
 	last    Update
 	hasLast bool
 	failed  error
@@ -565,6 +635,10 @@ func (q *Query) Series() *series.Store { return q.store }
 // Alerts returns the query's alert engine (nil without rules).
 func (q *Query) Alerts() *alert.Engine { return q.eng }
 
+// SLO returns the query's service-level objective tracker (nil for a
+// query without objectives).
+func (q *Query) SLO() *slo.Tracker { return q.slo }
+
 // step executes one protocol round, mirroring Simulation.Step without
 // faults: the first round runs Init (over reliable links, like every
 // driver), later rounds advance the runtime and run Step; an error
@@ -582,6 +656,14 @@ func (q *Query) step(dropped *atomic.Int64) {
 		// of other queries are never charged to this query's buckets.
 		q.ph.Switch(q.rt.Phase())
 		defer q.ph.Close()
+	}
+	var began time.Time
+	if q.slo != nil {
+		// The latency objective wants wall-clock time, but it must
+		// never leak into the deterministic state: it feeds only the
+		// SLO sample and the series StepMs column, both absent from
+		// recordings of unserved runs.
+		began = time.Now()
 	}
 	var (
 		v   int
@@ -611,9 +693,25 @@ func (q *Query) step(dropped *atomic.Int64) {
 		RankError: q.rt.RankErrorOf(q.k, v),
 		Joules:    q.rt.Ledger().TotalSpent(),
 		Frames:    q.rt.Stats().FramesSent,
+		Degraded:  q.rt.CoverageDeficit() > 0,
+		Staleness: q.rt.Staleness(),
+		Missing:   q.rt.Missing(),
 	}
 	if q.eng != nil {
 		u.Alerts, q.alertAt = q.eng.LogSince(q.alertAt)
+	}
+	if q.slo != nil {
+		u.LatencyMs = float64(time.Since(began)) / float64(time.Millisecond)
+		q.stepMs += u.LatencyMs
+		u.SLO = q.slo.Observe(q.spec.Key, slo.Sample{
+			Round:     q.round,
+			RankError: u.RankError,
+			N:         q.rt.N(),
+			Degraded:  u.Degraded,
+			Staleness: u.Staleness,
+			LatencyMs: u.LatencyMs,
+		})
+		u.SLOEvents, q.sloAt = q.slo.LogSince(q.sloAt)
 	}
 	q.publish(u, dropped)
 }

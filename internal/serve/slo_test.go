@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wsnq/internal/slo"
+)
+
+// alwaysBurning is a latency objective no real round can meet: every
+// round is bad, so the single-round windows trip crit on the first
+// observe. Used to exercise the event plumbing deterministically.
+const alwaysBurning = "latency ms=0.000001 objective=0.5 window=8 fast=1 slow=1 warn=1.5 crit=2"
+
+func TestSLOEndpointEmptyRegistry(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	ts := httptest.NewServer(Handler(r, nil))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /slo: %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Fatalf("empty registry /slo body = %q, want []", got)
+	}
+}
+
+func TestSLOEndpointAndQueryView(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	if _, err := r.Register(Spec{ID: "obj", Fleet: "fleet0", Algorithm: "IQ", SLO: "rank; fresh; latency"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(Spec{ID: "plain", Fleet: "fleet0", Algorithm: "IQ"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		r.Advance()
+	}
+
+	ts := httptest.NewServer(Handler(r, nil))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view []QuerySLO
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	// Only the query with objectives appears.
+	if len(view) != 1 || view[0].Query != "obj" {
+		t.Fatalf("/slo = %+v, want exactly the obj query", view)
+	}
+	if len(view[0].Specs) != 3 || len(view[0].Statuses) != 3 {
+		t.Fatalf("specs/statuses = %d/%d, want 3/3", len(view[0].Specs), len(view[0].Statuses))
+	}
+	for _, s := range view[0].Statuses {
+		if s.Rounds != 6 {
+			t.Fatalf("status %s observed %d rounds, want 6", s.SLO, s.Rounds)
+		}
+	}
+
+	// GET /queries/{id} folds the same budget statuses into the view.
+	qresp, err := http.Get(ts.URL + "/queries/obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	var qv QueryView
+	if err := json.NewDecoder(qresp.Body).Decode(&qv); err != nil {
+		t.Fatal(err)
+	}
+	if len(qv.SLO) != 3 {
+		t.Fatalf("query view SLO statuses = %d, want 3", len(qv.SLO))
+	}
+	if qv.Latest == nil || len(qv.Latest.SLO) != 3 {
+		t.Fatalf("latest update not stamped with SLO statuses: %+v", qv.Latest)
+	}
+}
+
+func TestSLOUpdateStamping(t *testing.T) {
+	r := newTestRegistry(t, Config{})
+	q, err := r.Register(Spec{Fleet: "fleet0", Algorithm: "IQ", SLO: "rank; latency ms=60000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := r.Register(Spec{Fleet: "fleet0", Algorithm: "IQ"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		r.Advance()
+	}
+	u, ok := q.Latest()
+	if !ok {
+		t.Fatal("no update")
+	}
+	if len(u.SLO) != 2 {
+		t.Fatalf("update SLO statuses = %d, want 2", len(u.SLO))
+	}
+	if u.LatencyMs <= 0 {
+		t.Fatalf("latency not measured on an objective-bearing query: %v", u.LatencyMs)
+	}
+	// PR-5 degraded-answer semantics on a healthy fleet: fully covered,
+	// fresh, nothing missing.
+	if u.Degraded || u.Staleness != 0 || u.Missing != 0 {
+		t.Fatalf("healthy fleet update degraded: %+v", u)
+	}
+	for _, s := range u.SLO {
+		if s.Round != u.Round || s.Rounds != u.Round+1 {
+			t.Fatalf("status %s at round %d/%d rounds, update round %d", s.SLO, s.Round, s.Rounds, u.Round)
+		}
+	}
+	// A query without objectives pays for none of it.
+	pu, _ := plain.Latest()
+	if pu.LatencyMs != 0 || pu.SLO != nil || pu.SLOEvents != nil {
+		t.Fatalf("plain query stamped with SLO state: %+v", pu)
+	}
+	if plain.SLO() != nil {
+		t.Fatal("plain query owns a tracker")
+	}
+}
+
+func TestSLORegistryDefaultAndOverride(t *testing.T) {
+	r := NewRegistry(Config{SLO: "rank epsilon=0.02"})
+	if _, err := r.AddFleet("fleet0", testCfg()); err != nil {
+		t.Fatal(err)
+	}
+	inherited, err := r.Register(Spec{ID: "inherit", Fleet: "fleet0", Algorithm: "IQ"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overridden, err := r.Register(Spec{ID: "override", Fleet: "fleet0", Algorithm: "IQ", SLO: "latency ms=25; fresh"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if specs := inherited.SLO().Specs(); len(specs) != 1 || specs[0].Signal != slo.SignalRank || specs[0].Epsilon != 0.02 {
+		t.Fatalf("inherited specs = %+v, want the registry default", specs)
+	}
+	if specs := overridden.SLO().Specs(); len(specs) != 2 || specs[0].Signal != slo.SignalLatency {
+		t.Fatalf("override specs = %+v, want the per-query declaration", specs)
+	}
+	// A malformed declaration is rejected at registration, not at the
+	// first Advance.
+	if _, err := r.Register(Spec{ID: "bad", Fleet: "fleet0", Algorithm: "IQ", SLO: "bogus"}); err == nil {
+		t.Fatal("malformed SLO spec registered")
+	}
+}
+
+// TestSLOEventDedupAcrossUpdates drives a query whose latency objective
+// burns on every round and asserts the LogSince cursor publishes each
+// level transition exactly once across the update stream — round 0
+// carries the ok→crit event, every later round carries none.
+func TestSLOEventDedupAcrossUpdates(t *testing.T) {
+	r := newTestRegistry(t, Config{SubscriberBuffer: 16})
+	q, err := r.Register(Spec{Fleet: "fleet0", Algorithm: "HBC", SLO: alwaysBurning})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := q.Subscribe()
+	const rounds = 6
+	for i := 0; i < rounds; i++ {
+		r.Advance()
+	}
+	if err := r.Deregister(q.ID()); err != nil {
+		t.Fatal(err)
+	}
+	var updates []Update
+	for u := range sub.Updates() {
+		updates = append(updates, u)
+	}
+	if len(updates) != rounds {
+		t.Fatalf("streamed %d updates, want %d", len(updates), rounds)
+	}
+	total := 0
+	for i, u := range updates {
+		total += len(u.SLOEvents)
+		if i == 0 {
+			if len(u.SLOEvents) != 1 || u.SLOEvents[0].Level != slo.Crit {
+				t.Fatalf("round 0 events = %+v, want one crit transition", u.SLOEvents)
+			}
+			if u.SLOEvents[0].Exemplar == nil {
+				t.Fatal("crit transition carries no exemplar")
+			}
+		} else if len(u.SLOEvents) != 0 {
+			t.Fatalf("round %d re-published events: %+v", u.Round, u.SLOEvents)
+		}
+		if len(u.SLO) != 1 || u.SLO[0].Level != slo.Crit {
+			t.Fatalf("round %d status = %+v, want sustained crit", u.Round, u.SLO)
+		}
+	}
+	if total != 1 {
+		t.Fatalf("stream carried %d events in total, want the single transition", total)
+	}
+}

@@ -1,0 +1,551 @@
+// Package slo evaluates declarative service-level objectives over the
+// per-round signals the system already produces: the fraction of
+// answers within the paper's εN rank bound, the fraction of rounds
+// with fresh (non-degraded) coverage, and per-step answer latency.
+//
+// Each Spec carries an objective (the target fraction of good rounds),
+// a rolling budget window that funds an error-budget ledger, and a
+// Google-SRE-style multi-window burn-rate pair: a fast window that
+// reacts to acute breakage and a slow window that filters blips. An
+// alert fires only when BOTH windows burn above threshold, which the
+// single-metric alert grammar expresses as min(burnFast, burnSlow) —
+// both ≥ T exactly when the minimum is.
+//
+// All windows are measured in rounds, the system's unit of time, so
+// evaluation is deterministic: the same round stream produces the same
+// budget trajectory live, under replay, and across machines. Windows
+// use a fixed denominator (they are primed with good rounds), so a
+// single bad round early in a run burns exactly as much budget as one
+// late in it and cold trackers never false-fire.
+//
+// Every level transition above OK carries an Exemplar — the round
+// window that tripped it plus, when the stream is being recorded, the
+// recording line offset of the first offending round — so the window
+// can be re-driven offline through `wsnq-sim -replay`.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"wsnq/internal/series"
+)
+
+// Signal names accepted by Spec.Signal.
+const (
+	SignalRank    = "rank"    // answer within the εN rank bound
+	SignalFresh   = "fresh"   // full coverage, staleness within bound
+	SignalLatency = "latency" // per-step answer latency within bound
+)
+
+// Level is an SLO severity. Ordering is meaningful: OK < Warn < Crit.
+// It mirrors alert.Level but is declared locally so the package stays
+// importable from layers below the alert engine.
+type Level uint8
+
+const (
+	OK Level = iota
+	Warn
+	Crit
+)
+
+var levelNames = [...]string{"ok", "warn", "crit"}
+
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("Level(%d)", uint8(l))
+}
+
+// MarshalText encodes the level as its lowercase name for JSON.
+func (l Level) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText accepts the lowercase level names.
+func (l *Level) UnmarshalText(b []byte) error {
+	for i, n := range levelNames {
+		if string(b) == n {
+			*l = Level(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("slo: unknown level %q", b)
+}
+
+// Spec declares one service-level objective. The zero value is not
+// valid; construct specs through ParseSpec or fill every field and
+// call Validate.
+type Spec struct {
+	Name      string  `json:"name"`      // display name, defaults to the signal
+	Signal    string  `json:"signal"`    // rank | fresh | latency
+	Objective float64 `json:"objective"` // target good-round fraction, e.g. 0.99
+
+	// Window is the budget window in rounds: the error budget is
+	// (1-Objective)·Window bad rounds, spent as they arrive and
+	// refunded as they age out.
+	Window int `json:"window"`
+
+	// FastWindow and SlowWindow are the burn-rate windows in rounds
+	// (the SRE playbook's 1h/24h pair, scaled to round time).
+	FastWindow int `json:"fast_window"`
+	SlowWindow int `json:"slow_window"`
+
+	// WarnBurn and CritBurn are burn-rate thresholds: a burn of 1
+	// spends the budget exactly at the sustainable rate, so paging
+	// thresholds sit well above it (the SRE defaults 6 and 14.4).
+	WarnBurn float64 `json:"warn_burn"`
+	CritBurn float64 `json:"crit_burn"`
+
+	// Per-signal parameters; only the matching one is consulted.
+	Epsilon   float64 `json:"epsilon,omitempty"`    // rank: good ⇔ rank error ≤ ε·N
+	MaxStale  int     `json:"max_stale,omitempty"`  // fresh: good ⇔ not degraded and staleness ≤ bound
+	LatencyMs float64 `json:"latency_ms,omitempty"` // latency: good ⇔ step latency ≤ bound (ms)
+}
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	switch s.Signal {
+	case SignalRank, SignalFresh, SignalLatency:
+	default:
+		return fmt.Errorf("slo: unknown signal %q (want rank, fresh, or latency)", s.Signal)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("slo: %s: empty name", s.Signal)
+	}
+	if !(s.Objective > 0 && s.Objective < 1) {
+		return fmt.Errorf("slo: %s: objective %v outside (0, 1)", s.Name, s.Objective)
+	}
+	if s.Window < 1 {
+		return fmt.Errorf("slo: %s: window %d < 1 round", s.Name, s.Window)
+	}
+	if s.FastWindow < 1 || s.SlowWindow < s.FastWindow {
+		return fmt.Errorf("slo: %s: want 1 ≤ fast (%d) ≤ slow (%d)", s.Name, s.FastWindow, s.SlowWindow)
+	}
+	if !(s.WarnBurn > 0) || math.IsInf(s.WarnBurn, 0) {
+		return fmt.Errorf("slo: %s: warn burn %v must be finite and positive", s.Name, s.WarnBurn)
+	}
+	if s.CritBurn < s.WarnBurn || math.IsInf(s.CritBurn, 0) {
+		return fmt.Errorf("slo: %s: crit burn %v below warn %v", s.Name, s.CritBurn, s.WarnBurn)
+	}
+	switch s.Signal {
+	case SignalRank:
+		if !(s.Epsilon > 0) || math.IsInf(s.Epsilon, 0) {
+			return fmt.Errorf("slo: %s: epsilon %v must be finite and positive", s.Name, s.Epsilon)
+		}
+	case SignalFresh:
+		if s.MaxStale < 0 {
+			return fmt.Errorf("slo: %s: negative staleness bound %d", s.Name, s.MaxStale)
+		}
+	case SignalLatency:
+		if !(s.LatencyMs > 0) || math.IsInf(s.LatencyMs, 0) {
+			return fmt.Errorf("slo: %s: latency bound %vms must be finite and positive", s.Name, s.LatencyMs)
+		}
+	}
+	return nil
+}
+
+// Budget returns the error budget of the window: the number of bad
+// rounds the objective tolerates per Window rounds.
+func (s Spec) Budget() float64 { return (1 - s.Objective) * float64(s.Window) }
+
+// good classifies one sample under this spec.
+func (s Spec) good(sm Sample) bool {
+	switch s.Signal {
+	case SignalRank:
+		return float64(sm.RankError) <= s.Epsilon*float64(sm.N)
+	case SignalFresh:
+		return !sm.Degraded && sm.Staleness <= s.MaxStale
+	case SignalLatency:
+		return sm.LatencyMs <= s.LatencyMs
+	}
+	return true
+}
+
+// Sample is one round's worth of signal for one series key. N is the
+// measurement population (nodes × values per node) that scales the εN
+// bound; Offset, when nonzero, is the recording line number of the
+// round record, which Exemplars carry so replay can seek to it.
+type Sample struct {
+	Round     int
+	RankError int
+	N         int
+	Degraded  bool
+	Staleness int
+	LatencyMs float64
+	Offset    int64
+}
+
+// SampleFromPoint builds a Sample from a recorded series point. The
+// measurement population n is supplied by the caller (the point does
+// not carry it); offset is the recording line number, or 0 when the
+// stream is not being recorded.
+func SampleFromPoint(p series.Point, n int, offset int64) Sample {
+	return Sample{
+		Round:     p.Round,
+		RankError: p.RankError,
+		N:         n,
+		Degraded:  p.Deficit > 0,
+		Staleness: p.Staleness,
+		LatencyMs: p.StepMs,
+		Offset:    offset,
+	}
+}
+
+// Status is the published state of one SLO for one series key.
+type Status struct {
+	SLO    string `json:"slo"`
+	Key    string `json:"key"`
+	Signal string `json:"signal"`
+	Round  int    `json:"round"`  // latest observed round
+	Rounds int    `json:"rounds"` // samples observed since StartRun
+
+	Bad      int     `json:"bad"`       // bad rounds inside the budget window
+	Budget   float64 `json:"budget"`    // bad rounds the window tolerates
+	Spend    float64 `json:"spend"`     // Bad/Budget; ≥1 means exhausted
+	BurnFast float64 `json:"burn_fast"` // fast-window burn rate
+	BurnSlow float64 `json:"burn_slow"` // slow-window burn rate
+	Burn     float64 `json:"burn"`      // min(fast, slow): the paging signal
+	Level    Level   `json:"level"`
+	Since    int     `json:"since"` // round the current level began
+}
+
+// Exemplar pins the window of rounds that tripped a transition, plus
+// the recording line offset of the window's first round when the
+// stream was recorded (0 otherwise). `wsnq-sim -replay -replay-window
+// FROM:TO` re-drives exactly these rounds through the rules.
+type Exemplar struct {
+	FromRound int   `json:"from_round"`
+	ToRound   int   `json:"to_round"`
+	Offset    int64 `json:"offset,omitempty"`
+}
+
+// Event is one deduplicated level transition.
+type Event struct {
+	SLO      string    `json:"slo"`
+	Key      string    `json:"key"`
+	Round    int       `json:"round"`
+	Level    Level     `json:"level"`
+	Prev     Level     `json:"prev"`
+	Burn     float64   `json:"burn"`
+	Spend    float64   `json:"spend"`
+	Message  string    `json:"message"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
+}
+
+// ring is a fixed-size boolean window with a running count of set
+// (bad) slots. The denominator is the full window size from the first
+// sample on — the ring starts primed with good rounds.
+type ring struct {
+	slots []bool
+	head  int
+	bad   int
+}
+
+func newRing(n int) *ring { return &ring{slots: make([]bool, n)} }
+
+func (r *ring) push(bad bool) {
+	if r.slots[r.head] {
+		r.bad--
+	}
+	r.slots[r.head] = bad
+	if bad {
+		r.bad++
+	}
+	r.head++
+	if r.head == len(r.slots) {
+		r.head = 0
+	}
+}
+
+func (r *ring) reset() {
+	for i := range r.slots {
+		r.slots[i] = false
+	}
+	r.head, r.bad = 0, 0
+}
+
+// fraction returns bad slots over the fixed window size.
+func (r *ring) fraction() float64 { return float64(r.bad) / float64(len(r.slots)) }
+
+// state is the evaluation state of one Spec × key pair.
+type state struct {
+	fast    *ring
+	slow    *ring
+	budget  *ring
+	offsets []int64 // recording offsets of the fast window's rounds
+	rounds  []int   // rounds of the fast window, aligned with offsets
+	rhead   int
+	seen    int
+	round   int
+	level   Level
+	since   int
+	burn    float64
+	bfast   float64
+	bslow   float64
+	spend   float64
+}
+
+// maxLog bounds the event log; on overflow the older half is dropped
+// and Dropped counts the discards (mirroring the alert engine).
+const maxLog = 1024
+
+// Tracker evaluates a set of Specs against per-key round samples. All
+// methods are safe for concurrent use.
+type Tracker struct {
+	mu      sync.Mutex
+	specs   []Spec
+	states  map[string][]*state // key → one state per spec
+	order   []string            // insertion order of keys
+	log     []Event
+	logBase int // events discarded from the front of log
+	dropped int
+}
+
+// NewTracker validates the specs and builds a tracker. Duplicate spec
+// names are rejected so statuses stay addressable.
+func NewTracker(specs ...Spec) (*Tracker, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("slo: no specs")
+	}
+	names := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if names[s.Name] {
+			return nil, fmt.Errorf("slo: duplicate spec name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	return &Tracker{specs: append([]Spec(nil), specs...), states: make(map[string][]*state)}, nil
+}
+
+// Specs returns a copy of the tracked specs.
+func (t *Tracker) Specs() []Spec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Spec(nil), t.specs...)
+}
+
+// StartRun resets the evaluation state of one key: a fresh deployment
+// (a new run marker in a recording, a re-registered query) starts with
+// a full budget and cold windows. Unknown keys are a no-op. The event
+// log is retained — it narrates the whole session.
+func (t *Tracker) StartRun(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range t.states[key] {
+		st.fast.reset()
+		st.slow.reset()
+		st.budget.reset()
+		for i := range st.offsets {
+			st.offsets[i], st.rounds[i] = 0, 0
+		}
+		st.rhead, st.seen, st.round = 0, 0, 0
+		st.level, st.since = OK, 0
+		st.burn, st.bfast, st.bslow, st.spend = 0, 0, 0, 0
+	}
+}
+
+func (t *Tracker) stateFor(key string) []*state {
+	sts := t.states[key]
+	if sts == nil {
+		sts = make([]*state, len(t.specs))
+		for i, sp := range t.specs {
+			sts[i] = &state{
+				fast:    newRing(sp.FastWindow),
+				slow:    newRing(sp.SlowWindow),
+				budget:  newRing(sp.Window),
+				offsets: make([]int64, sp.FastWindow),
+				rounds:  make([]int, sp.FastWindow),
+			}
+		}
+		t.states[key] = sts
+		t.order = append(t.order, key)
+	}
+	return sts
+}
+
+// Observe classifies one round's sample under every spec, updates the
+// budget ledger and burn windows, logs deduplicated level transitions,
+// and returns the refreshed status of every spec for the key.
+func (t *Tracker) Observe(key string, sm Sample) []Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sts := t.stateFor(key)
+	out := make([]Status, len(t.specs))
+	for i, sp := range t.specs {
+		st := sts[i]
+		bad := !sp.good(sm)
+		st.fast.push(bad)
+		st.slow.push(bad)
+		st.budget.push(bad)
+		st.offsets[st.rhead] = sm.Offset
+		st.rounds[st.rhead] = sm.Round
+		st.rhead++
+		if st.rhead == len(st.offsets) {
+			st.rhead = 0
+		}
+		st.seen++
+		st.round = sm.Round
+
+		rate := 1 - sp.Objective
+		st.bfast = st.fast.fraction() / rate
+		st.bslow = st.slow.fraction() / rate
+		st.burn = math.Min(st.bfast, st.bslow)
+		st.spend = float64(st.budget.bad) / sp.Budget()
+
+		level := OK
+		switch {
+		case st.burn >= sp.CritBurn:
+			level = Crit
+		case st.burn >= sp.WarnBurn:
+			level = Warn
+		}
+		if level != st.level {
+			ev := Event{
+				SLO: sp.Name, Key: key, Round: sm.Round,
+				Level: level, Prev: st.level,
+				Burn: st.burn, Spend: st.spend,
+			}
+			if level > OK {
+				// The fast window is the tighter of the two firing
+				// windows: its oldest retained round opens the
+				// offending span.
+				from, off := st.oldest()
+				ev.Exemplar = &Exemplar{FromRound: from, ToRound: sm.Round, Offset: off}
+				ev.Message = fmt.Sprintf("%s %s %s: burn %.3g (fast %.3g, slow %.3g) ≥ %.3g, budget %.0f%% spent, rounds %d..%d",
+					level, sp.Name, key, st.burn, st.bfast, st.bslow, sp.threshold(level), 100*st.spend, from, sm.Round)
+			} else {
+				ev.Message = fmt.Sprintf("ok %s %s: burn %.3g below %.3g at round %d",
+					sp.Name, key, st.burn, sp.WarnBurn, sm.Round)
+			}
+			t.append(ev)
+			st.level = level
+			st.since = sm.Round
+		}
+		out[i] = st.status(sp, key)
+	}
+	return out
+}
+
+// oldest returns the round and offset opening the current fast
+// window. Before the window has filled, the first observed sample of
+// the run opens it.
+func (st *state) oldest() (round int, offset int64) {
+	if st.seen < len(st.offsets) {
+		return st.rounds[0], st.offsets[0]
+	}
+	return st.rounds[st.rhead], st.offsets[st.rhead]
+}
+
+func (sp Spec) threshold(l Level) float64 {
+	if l == Crit {
+		return sp.CritBurn
+	}
+	return sp.WarnBurn
+}
+
+func (st *state) status(sp Spec, key string) Status {
+	return Status{
+		SLO: sp.Name, Key: key, Signal: sp.Signal,
+		Round: st.round, Rounds: st.seen,
+		Bad: st.budget.bad, Budget: sp.Budget(), Spend: st.spend,
+		BurnFast: st.bfast, BurnSlow: st.bslow, Burn: st.burn,
+		Level: st.level, Since: st.since,
+	}
+}
+
+func (t *Tracker) append(ev Event) {
+	if len(t.log) >= maxLog {
+		drop := len(t.log) / 2
+		t.log = append(t.log[:0], t.log[drop:]...)
+		t.logBase += drop
+		t.dropped += drop
+	}
+	t.log = append(t.log, ev)
+}
+
+// Statuses returns the current status of every spec × key pair, keys
+// in first-observation order, specs in declaration order.
+func (t *Tracker) Statuses() []Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Status, 0, len(t.order)*len(t.specs))
+	for _, key := range t.order {
+		for i, sp := range t.specs {
+			out = append(out, t.states[key][i].status(sp, key))
+		}
+	}
+	return out
+}
+
+// StatusesFor returns the current statuses of one key, or nil if it
+// has never been observed.
+func (t *Tracker) StatusesFor(key string) []Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sts := t.states[key]
+	if sts == nil {
+		return nil
+	}
+	out := make([]Status, len(sts))
+	for i, sp := range t.specs {
+		out[i] = sts[i].status(sp, key)
+	}
+	return out
+}
+
+// Log returns a copy of the retained event log, oldest first.
+func (t *Tracker) Log() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.log...)
+}
+
+// LogSince returns the events appended after the absolute cursor and
+// the new cursor, mirroring alert.Engine.LogSince: cursors are
+// positions in the all-time event sequence, so they survive log
+// discards (a cursor pointing into a discarded region yields the
+// oldest retained events).
+func (t *Tracker) LogSince(cursor int) ([]Event, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := t.logBase + len(t.log)
+	if cursor >= next {
+		return nil, next
+	}
+	start := cursor - t.logBase
+	if start < 0 {
+		start = 0
+	}
+	return append([]Event(nil), t.log[start:]...), next
+}
+
+// Dropped returns how many events have been discarded from the log.
+func (t *Tracker) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Gauges returns the worst burn and spend across this key's specs, the
+// pair exported into the series stream (slo_burn / slo_spend) for the
+// alert engine's sloburn and slospend presets. Unknown keys gauge 0.
+func (t *Tracker) Gauges(key string) (burn, spend float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, st := range t.states[key] {
+		burn = math.Max(burn, st.burn)
+		spend = math.Max(spend, st.spend)
+	}
+	return burn, spend
+}
+
+// Keys returns the observed keys in first-observation order.
+func (t *Tracker) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}

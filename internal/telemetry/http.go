@@ -13,6 +13,7 @@ import (
 	"wsnq/internal/prof"
 	"wsnq/internal/report"
 	"wsnq/internal/series"
+	"wsnq/internal/slo"
 )
 
 // dashboardEvents bounds the recent-events list on the dashboard page.
@@ -25,7 +26,10 @@ const dashboardEvents = 20
 //	/series        JSON per-round time-series snapshot (nil st → 404)
 //	/alerts        JSON alert rules, states, and log (nil eng → 404)
 //	/profilez      JSON per-phase CPU/alloc attribution (nil rec → 404)
-//	/dashboard     self-contained HTML: sparklines, charts, alerts
+//	/slo           JSON SLO specs, budget statuses, and burn-rate
+//	               transition log (nil slt → 404)
+//	/dashboard     self-contained HTML: sparklines, charts, alerts,
+//	               SLO error budgets
 //	/debug/pprof/  the standard net/http/pprof profiling hooks
 //	/              a plain-text index of the above
 //
@@ -34,7 +38,7 @@ const dashboardEvents = 20
 // series store). /metrics additionally samples the Go runtime's own
 // health gauges (runtime.*) at scrape time, so every tool exposes GC
 // and heap pressure without a sampling goroutine.
-func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, rec *prof.Recorder) http.Handler {
+func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, rec *prof.Recorder, slt *slo.Tracker) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if reg == nil {
@@ -72,13 +76,20 @@ func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, r
 		}
 		writeJSON(w, alertsView(eng))
 	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, req *http.Request) {
+		if slt == nil {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, sloView(slt))
+	})
 	mux.HandleFunc("/dashboard", func(w http.ResponseWriter, req *http.Request) {
 		if st == nil {
 			http.NotFound(w, req)
 			return
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
-		fmt.Fprint(w, report.Dashboard(dashData(st, eng)))
+		fmt.Fprint(w, report.Dashboard(dashData(st, eng, slt)))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -97,6 +108,7 @@ func Handler(reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, r
 		fmt.Fprintln(w, "  /series       per-round time series (JSON)")
 		fmt.Fprintln(w, "  /alerts       alert states and log (JSON)")
 		fmt.Fprintln(w, "  /profilez     per-phase CPU/alloc attribution (JSON)")
+		fmt.Fprintln(w, "  /slo          SLO budget statuses and burn log (JSON)")
 		fmt.Fprintln(w, "  /dashboard    live HTML dashboard")
 		fmt.Fprintln(w, "  /debug/pprof  runtime profiles")
 	})
@@ -123,9 +135,29 @@ func alertsView(eng *alert.Engine) AlertsView {
 	return v
 }
 
-// dashData converts the live store and engine into the plain data the
-// report renderer consumes.
-func dashData(st *series.Store, eng *alert.Engine) report.DashData {
+// SLOTelemetryView is the /slo response body.
+type SLOTelemetryView struct {
+	Specs    []string     `json:"specs"` // canonical grammar strings
+	Statuses []slo.Status `json:"statuses"`
+	Events   []slo.Event  `json:"events"`
+	Dropped  int          `json:"dropped_events,omitempty"`
+}
+
+func sloView(slt *slo.Tracker) SLOTelemetryView {
+	v := SLOTelemetryView{
+		Statuses: slt.Statuses(),
+		Events:   slt.Log(),
+		Dropped:  slt.Dropped(),
+	}
+	for _, sp := range slt.Specs() {
+		v.Specs = append(v.Specs, sp.String())
+	}
+	return v
+}
+
+// dashData converts the live store, engine, and SLO tracker into the
+// plain data the report renderer consumes.
+func dashData(st *series.Store, eng *alert.Engine, slt *slo.Tracker) report.DashData {
 	d := report.DashData{Title: "wsnq dashboard", RefreshSec: 2}
 	snap := st.Snapshot()
 	keys := make([]string, 0, len(snap))
@@ -168,6 +200,15 @@ func dashData(st *series.Store, eng *alert.Engine) report.DashData {
 			d.Events = append(d.Events, ev.Message)
 		}
 	}
+	if slt != nil {
+		for _, s := range slt.Statuses() {
+			d.SLOs = append(d.SLOs, report.DashSLO{
+				Name: s.SLO, Key: s.Key, Signal: s.Signal,
+				Level: s.Level.String(), Burn: s.Burn, Spend: s.Spend,
+				Since: s.Since,
+			})
+		}
+	}
 	return d
 }
 
@@ -183,12 +224,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 // Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler on
 // it until ctx is cancelled. It returns the bound address — useful with
 // port 0 — without blocking; the server runs in the background.
-func Serve(ctx context.Context, addr string, reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, rec *prof.Recorder) (string, error) {
+func Serve(ctx context.Context, addr string, reg *Registry, an *Analyzer, st *series.Store, eng *alert.Engine, rec *prof.Recorder, slt *slo.Tracker) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, an, st, eng, rec)}
+	srv := &http.Server{Handler: Handler(reg, an, st, eng, rec, slt)}
 	go srv.Serve(ln)
 	go func() {
 		<-ctx.Done()

@@ -43,7 +43,7 @@ func TestHandlerEndpoints(t *testing.T) {
 	an := NewAnalyzer(30e-3)
 	feed(an)
 	st, eng := observability(t)
-	srv := httptest.NewServer(Handler(reg, an, st, eng, nil))
+	srv := httptest.NewServer(Handler(reg, an, st, eng, nil, nil))
 	defer srv.Close()
 
 	get := func(path string) (int, []byte) {
@@ -133,7 +133,7 @@ func TestHandlerEndpoints(t *testing.T) {
 }
 
 func TestHandlerNilComponents(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil, nil, nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, nil, nil))
 	defer srv.Close()
 	for _, path := range []string{"/metrics", "/health", "/series", "/alerts", "/dashboard", "/profilez"} {
 		resp, err := http.Get(srv.URL + path)
@@ -150,7 +150,7 @@ func TestHandlerNilComponents(t *testing.T) {
 func TestServeLifecycle(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := NewRegistry()
-	addr, err := Serve(ctx, "127.0.0.1:0", reg, nil, nil, nil, nil)
+	addr, err := Serve(ctx, "127.0.0.1:0", reg, nil, nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,7 +30,7 @@ func profiled() *prof.Recorder {
 // TestProfilezEndpoint checks /profilez serves the attribution report
 // as JSON: 200, the Report shape, and the booked scope×phase buckets.
 func TestProfilezEndpoint(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil, nil, nil, profiled()))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, profiled(), nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/profilez")
@@ -80,7 +80,7 @@ func TestProfilezEndpoint(t *testing.T) {
 // TestMetricsPublishRuntime checks /metrics samples the Go runtime's
 // health gauges at scrape time — no sampling goroutine needed.
 func TestMetricsPublishRuntime(t *testing.T) {
-	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil, nil, nil))
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil, nil, nil, nil))
 	defer srv.Close()
 	runtime.GC() // /gc/heap/live:bytes is zero until one GC completes
 
@@ -109,7 +109,7 @@ func TestMetricsPublishRuntime(t *testing.T) {
 // labels of a goroutine running under an attached prof handle — the
 // attribution the phase switches install via SetGoroutineLabels.
 func TestDebugPprofProfile(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil, nil, nil, prof.NewRecorder()))
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, prof.NewRecorder(), nil))
 	defer srv.Close()
 
 	// A worker parked mid-phase, exactly like a simulation goroutine

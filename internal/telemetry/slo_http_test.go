@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"wsnq/internal/slo"
+)
+
+// burningTracker builds a tracker whose rank objective is already in
+// crit: single-round windows and a stream of rank misses.
+func burningTracker(t *testing.T) *slo.Tracker {
+	t.Helper()
+	specs, err := slo.ParseSpecs("rank objective=0.5 window=8 fast=1 slow=1 warn=1.5 crit=2 epsilon=0.05; latency ms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := slo.NewTracker(specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		tr.Observe("IQ", slo.Sample{Round: r, RankError: 100, N: 10, LatencyMs: 1})
+	}
+	return tr
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	tr := burningTracker(t)
+	srv := httptest.NewServer(Handler(nil, nil, nil, nil, nil, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/slo status = %d", resp.StatusCode)
+	}
+	var v SLOTelemetryView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("/slo not JSON: %v", err)
+	}
+	if len(v.Specs) != 2 {
+		t.Errorf("/slo specs = %v, want the 2 canonical strings", v.Specs)
+	}
+	if len(v.Statuses) != 2 {
+		t.Fatalf("/slo statuses = %d, want 2", len(v.Statuses))
+	}
+	var rank slo.Status
+	for _, s := range v.Statuses {
+		if s.Signal == slo.SignalRank {
+			rank = s
+		}
+	}
+	if rank.Level != slo.Crit || rank.Bad != 4 {
+		t.Errorf("rank status = %+v, want crit with 4 bad rounds", rank)
+	}
+	if len(v.Events) != 1 || v.Events[0].Level != slo.Crit {
+		t.Errorf("/slo events = %+v, want the single ok→crit transition", v.Events)
+	}
+
+	// The index advertises the endpoint.
+	iresp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iresp.Body.Close()
+	idx, _ := io.ReadAll(iresp.Body)
+	if !strings.Contains(string(idx), "/slo") {
+		t.Error("index does not list /slo")
+	}
+}
+
+func TestSLOEndpointAbsentTracker(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry(), nil, nil, nil, nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/slo with no tracker = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDashboardSLOPanel renders the dashboard with a tracker attached
+// and asserts the budget panel appears with the standing crit level;
+// without a tracker the panel is absent entirely.
+func TestDashboardSLOPanel(t *testing.T) {
+	st, eng := observability(t)
+	tr := burningTracker(t)
+	srv := httptest.NewServer(Handler(nil, nil, st, eng, nil, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/dashboard status = %d", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	html := string(body)
+	for _, want := range []string{"SLO error budgets", "rank", "crit"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("/dashboard missing %q", want)
+		}
+	}
+
+	bare := httptest.NewServer(Handler(nil, nil, st, eng, nil, nil))
+	defer bare.Close()
+	bresp, err := http.Get(bare.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	bbody, _ := io.ReadAll(bresp.Body)
+	if strings.Contains(string(bbody), "SLO error budgets") {
+		t.Error("dashboard renders the SLO panel without a tracker")
+	}
+}

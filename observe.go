@@ -8,6 +8,7 @@ import (
 	"wsnq/internal/energy"
 	"wsnq/internal/experiment"
 	"wsnq/internal/series"
+	"wsnq/internal/slo"
 )
 
 // This file is the public face of the streaming-observability layer:
@@ -85,10 +86,25 @@ func (s *Series) Collector(key string, a *Alerts) TraceCollector {
 // Pass it to sim.SetTrace (wrap with MultiCollector to combine with
 // other collectors) and call sim.FinishTrace after the last Step.
 func (sim *Simulation) SeriesCollector(ser *Series, key string, a *Alerts) TraceCollector {
+	return sim.seriesCollector(ser, key, a, nil)
+}
+
+// seriesCollector is SeriesCollector plus the SLO sink Observer wires
+// in: each completed round's point also classifies against sl's
+// objectives, with the simulation's population scaling the rank
+// objective's εN tolerance.
+func (sim *Simulation) seriesCollector(ser *Series, key string, a *Alerts, sl *SLOs) TraceCollector {
 	var sinks []series.Sink
 	if a != nil {
 		a.eng.StartRun(key)
 		sinks = append(sinks, a.eng.Observe)
+	}
+	if sl != nil {
+		tr, n := sl.tr, sim.rt.N()
+		tr.StartRun(key)
+		sinks = append(sinks, func(k string, p series.Point) {
+			tr.Observe(k, slo.SampleFromPoint(p, n, 0))
+		})
 	}
 	return ser.store.IngestTotals(key, experiment.SeriesSampler(sim.rt), sinks...)
 }

@@ -7,6 +7,7 @@ import (
 	"wsnq/internal/experiment"
 	"wsnq/internal/prof"
 	"wsnq/internal/series"
+	"wsnq/internal/slo"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 )
@@ -37,6 +38,12 @@ type Observer struct {
 	Series *Series
 	// Alerts streams every round through declarative alert rules.
 	Alerts *Alerts
+	// SLO evaluates declarative objectives (error budgets, burn
+	// rates) on every completed round. Live simulations (Collector)
+	// and served queries (QuerySpec.Observer) feed it; batch studies
+	// do not — their sweep cells mix populations an objective's εN
+	// tolerance cannot scale against, so apply leaves it detached.
+	SLO *SLOs
 	// Prof attributes CPU time and heap allocations to algorithm×phase
 	// buckets and labels the running goroutine for sampling profiles.
 	// Studies and the query server attach it through this slot; a live
@@ -93,14 +100,15 @@ func (ob *Observer) Collector(sim *Simulation, key string) TraceCollector {
 	if ob.Telemetry != nil {
 		cs = append(cs, ob.Telemetry.Collector())
 	}
-	if ob.Series != nil || ob.Alerts != nil {
+	if ob.Series != nil || ob.Alerts != nil || ob.SLO != nil {
 		ser := ob.Series
 		if ser == nil {
-			// Alerts alone still need per-round points; derive them
-			// through a minimal throwaway store, like the engine does.
+			// Alerts or SLOs alone still need per-round points; derive
+			// them through a minimal throwaway store, like the engine
+			// does.
 			ser = &Series{store: series.New(1)}
 		}
-		cs = append(cs, sim.SeriesCollector(ser, key, ob.Alerts))
+		cs = append(cs, sim.seriesCollector(ser, key, ob.Alerts, ob.SLO))
 	}
 	return MultiCollector(cs...)
 }
@@ -109,12 +117,22 @@ func (ob *Observer) Collector(sim *Simulation, key string) TraceCollector {
 // endpoints when Telemetry is set (with the bundled series and alerts
 // attached), else a reduced surface serving just /series, /alerts, and
 // /dashboard from the bundled stores. Endpoints without a backing sink
-// answer 404.
+// answer 404. Absent bundle fields are left alone, so sinks attached
+// to the Telemetry directly (Telemetry.AttachSLO and friends) survive.
 func (ob *Observer) Handler() http.Handler {
 	if ob.Telemetry != nil {
-		ob.Telemetry.AttachSeries(ob.Series)
-		ob.Telemetry.AttachAlerts(ob.Alerts)
-		ob.Telemetry.AttachProf(ob.Prof)
+		if ob.Series != nil {
+			ob.Telemetry.AttachSeries(ob.Series)
+		}
+		if ob.Alerts != nil {
+			ob.Telemetry.AttachAlerts(ob.Alerts)
+		}
+		if ob.Prof != nil {
+			ob.Telemetry.AttachProf(ob.Prof)
+		}
+		if ob.SLO != nil {
+			ob.Telemetry.AttachSLO(ob.SLO)
+		}
 		return ob.Telemetry.Handler()
 	}
 	var st *series.Store
@@ -129,7 +147,11 @@ func (ob *Observer) Handler() http.Handler {
 	if ob.Prof != nil {
 		rec = ob.Prof.rec
 	}
-	return telemetry.Handler(nil, nil, st, eng, rec)
+	var slt *slo.Tracker
+	if ob.SLO != nil {
+		slt = ob.SLO.tr
+	}
+	return telemetry.Handler(nil, nil, st, eng, rec, slt)
 }
 
 // WithObserver attaches an observer bundle to the study: every non-nil

@@ -77,6 +77,10 @@ func (sc *Scenario) Phi() float64 { return sc.s.Phi }
 // grammar ("" when it has none).
 func (sc *Scenario) AlertRules() string { return sc.s.AlertSpec() }
 
+// SLOSpecs renders the scenario's SLO declarations in the
+// ParseSLOSpecs grammar ("" when it has none).
+func (sc *Scenario) SLOSpecs() string { return sc.s.SLOSpec() }
+
 // ScenarioVerdict is one round's root decision in a scenario outcome:
 // the reported quantile, the queried rank, and the rank error, paired
 // with the series key and round index.
@@ -108,6 +112,14 @@ func (o *ScenarioOutcome) Alerts() AlertLog { return AlertLog(o.out.Alerts) }
 
 // Verdicts returns the per-round root decisions in stream order.
 func (o *ScenarioOutcome) Verdicts() []ScenarioVerdict { return o.out.Verdicts }
+
+// SLO returns the final budget status of every declared objective ×
+// key (empty when the scenario declares none).
+func (o *ScenarioOutcome) SLO() []SLOStatus { return o.out.SLO }
+
+// SLOEvents returns the chronological burn-rate transition log, each
+// event carrying the exemplar round span that tripped it.
+func (o *ScenarioOutcome) SLOEvents() []SLOEvent { return o.out.SLOEvents }
 
 // Metrics returns the averaged study metrics per series key. Empty for
 // replayed outcomes: replay reconstructs streams, not simulator
@@ -153,6 +165,22 @@ func RecordScenario(ctx context.Context, sc *Scenario, w io.Writer) (*ScenarioOu
 // (format, version, canonical text, content hash) before any replaying.
 func ReplayRecording(r io.Reader) (*ScenarioOutcome, error) {
 	out, err := scenario.Replay(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioOutcome{out: out}, nil
+}
+
+// ReplayWindow replays only the recorded rounds in [from, to] through
+// fresh alert and SLO state — the exemplar debugging mode behind
+// `wsnq-sim -replay -replay-window FROM:TO`. An SLOEvent's exemplar
+// names the round span that tripped a burn-rate transition; replaying
+// just that span shows how the windows filled without the healthy
+// rounds around it. Unlike ReplayRecording the outcome is not
+// hash-comparable to the live run: the series rebases to round 0 and
+// the alert/SLO windows start cold at the window's edge.
+func ReplayWindow(r io.Reader, from, to int) (*ScenarioOutcome, error) {
+	out, err := scenario.ReplayWindow(r, from, to)
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,10 @@ type ServerConfig struct {
 	// Workers bounds the stepping pool each Advance fans queries out
 	// over; 0 uses one worker per CPU.
 	Workers int
+	// SLO optionally declares default objectives (ParseSLOSpecs
+	// grammar) evaluated for every query that does not override them;
+	// each query gets its own tracker, so budgets stay isolated.
+	SLO string
 	// Observer, when non-nil, provides the server-wide observability
 	// surface: its Handler serves the telemetry endpoints every
 	// request outside the query API falls through to. Its Prof slot
@@ -64,6 +68,11 @@ type QuerySpec struct {
 	// AlertRules optionally attaches streaming alert rules
 	// (ParseAlertRules grammar) evaluated on the query's own rounds.
 	AlertRules string
+	// SLO optionally declares this query's objectives (ParseSLOSpecs
+	// grammar), overriding the server-wide ServerConfig.SLO default.
+	// Budget status is stamped into every QueryUpdate and served by
+	// GET /slo and the query view.
+	SLO string
 	// Window is the sliding-window length for the stats reported by
 	// the query view; 0 selects the default (32).
 	Window int
@@ -105,6 +114,7 @@ func NewServer(cfg ServerConfig) *Server {
 		SeriesCapacity:   cfg.SeriesCapacity,
 		SubscriberBuffer: cfg.SubscriberBuffer,
 		Workers:          cfg.Workers,
+		SLO:              cfg.SLO,
 		Prof:             rec,
 		Resolve:          func(name string) (experiment.Factory, error) { return factory(Algorithm(name)) },
 	})}
@@ -135,6 +145,7 @@ func (s *Server) Register(spec QuerySpec) (string, error) {
 		Phi:       spec.Phi,
 		Algorithm: string(spec.Algorithm),
 		Rules:     spec.AlertRules,
+		SLO:       spec.SLO,
 		Window:    spec.Window,
 	}
 	if ob := spec.Observer; ob != nil {
@@ -144,6 +155,9 @@ func (s *Server) Register(spec QuerySpec) (string, error) {
 		}
 		if ob.Alerts != nil {
 			ispec.Alerts = ob.Alerts.eng
+		}
+		if ob.SLO != nil {
+			ispec.SLOTracker = ob.SLO.tr
 		}
 	}
 	q, err := s.reg.Register(ispec)

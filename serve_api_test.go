@@ -77,6 +77,17 @@ func TestServeDeterminism(t *testing.T) {
 					t.Fatalf("%s φ=%v round %d: server (round=%d q=%d oracle=%d) != standalone (round=%d q=%d oracle=%d)",
 						alg, phi, i, u.Round, u.Quantile, u.Oracle, want[i].Round, want[i].Quantile, want[i].Oracle)
 				}
+				// Degraded-answer stamping (PR 5 semantics) must agree
+				// with the standalone RoundResult too: on this healthy
+				// fleet both sides report full coverage, zero staleness,
+				// and no unreachable sensors.
+				if u.Degraded != want[i].Degraded || u.Staleness != want[i].Staleness {
+					t.Fatalf("%s φ=%v round %d: server degraded=%v staleness=%d != standalone degraded=%v staleness=%d",
+						alg, phi, i, u.Degraded, u.Staleness, want[i].Degraded, want[i].Staleness)
+				}
+				if u.Missing != 0 {
+					t.Fatalf("%s φ=%v round %d: %d sensors missing on a fault-free fleet", alg, phi, i, u.Missing)
+				}
 			}
 		}
 	}

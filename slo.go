@@ -1,0 +1,145 @@
+package wsnq
+
+import (
+	"fmt"
+
+	"wsnq/internal/slo"
+)
+
+// This file is the public face of the SLO layer (internal/slo):
+// declarative service-level objectives over the signals the serving
+// and observability layers already produce — rank-error accuracy,
+// answer freshness, and per-round answer latency — each with a
+// rolling compliance window, an error-budget ledger, and multi-window
+// burn-rate evaluation in the Google-SRE style. Attach objectives to
+// a served query (QuerySpec.SLO), a whole server (ServerConfig.SLO),
+// a live simulation (Observer.SLO), or a scenario file ("slo" key);
+// read budget status from QueryStatus.SLO, GET /slo, the telemetry
+// dashboard, or ScenarioOutcome.SLO. See DESIGN.md §4j.
+
+// SLOSpec is one declarative objective: a signal, a target compliance
+// fraction over a rolling window, and the fast/slow burn-rate windows
+// and thresholds that grade it. Build specs with ParseSLOSpecs.
+type SLOSpec = slo.Spec
+
+// SLOStatus is the standing budget state of one objective × key pair:
+// rounds observed, bad rounds, budget spend fraction, and the fast,
+// slow, and combined burn rates behind the current level.
+type SLOStatus = slo.Status
+
+// SLOEvent is one burn-rate level transition, carrying the budget
+// arithmetic at the transition and — above OK — an exemplar naming
+// the offending round span and its recording line offset, so
+// `wsnq-sim -replay -replay-window` can re-drive it offline.
+type SLOEvent = slo.Event
+
+// SLOExemplar names the round window (and, for recorded scenarios,
+// the recording line offset) that tripped a burn-rate transition.
+type SLOExemplar = slo.Exemplar
+
+// SLOSample is one round's raw SLO signals for Observe: rank error
+// and population for the accuracy signal, degraded/staleness flags
+// for freshness, and the round's answer latency.
+type SLOSample = slo.Sample
+
+// SLOLevel is an SLO severity; ordering is meaningful
+// (SLOOK < SLOWarn < SLOCrit).
+type SLOLevel = slo.Level
+
+// SLO severities.
+const (
+	SLOOK   = slo.OK
+	SLOWarn = slo.Warn
+	SLOCrit = slo.Crit
+)
+
+// ParseSLOSpecs parses a semicolon-separated SLO spec list without
+// building a tracker — useful for validating a -slo flag. The grammar
+// (DESIGN.md §4j):
+//
+//	spec   = signal { " " key "=" value }
+//	signal = rank | fresh | latency
+//	key    = name | objective | window | fast | slow | warn | crit |
+//	         epsilon (rank) | stale (fresh) | ms (latency)
+//
+// Example: "rank objective=0.99 window=512; latency ms=25 warn=4".
+// Every key is optional; DefaultSpec fills the rest (objective 0.99 —
+// fresh 0.95 — window 512, fast 8, slow 64, warn burn 6, crit burn
+// 14.4).
+func ParseSLOSpecs(spec string) ([]SLOSpec, error) {
+	return slo.ParseSpecs(spec)
+}
+
+// SLOSampleFromPoint derives one round's SLO sample from a recorded
+// series point: rank error and per-round latency read off the point,
+// freshness from its coverage-deficit and staleness columns. n is the
+// population |N| the rank objective's εN tolerance scales against;
+// offset (0 if unknown) stamps exemplars with a recording line.
+func SLOSampleFromPoint(p SeriesPoint, n int, offset int64) SLOSample {
+	return slo.SampleFromPoint(p, n, offset)
+}
+
+// SLOs is a tracker evaluating declarative objectives as rounds
+// complete: each Observe classifies the round against every spec,
+// advances the rolling windows and the error-budget ledger, and logs
+// deduplicated OK→WARN→CRIT burn-rate transitions with exemplars.
+// Build it from the spec grammar (ParseSLOSpecs) and attach it via
+// Observer.SLO or QuerySpec.Observer; read Statuses and Log at any
+// time, including while the source runs. Safe for concurrent use.
+type SLOs struct {
+	tr *slo.Tracker
+}
+
+// NewSLOs builds an SLO tracker from a semicolon-separated spec list,
+// e.g. "rank; fresh objective=0.9" — see ParseSLOSpecs.
+func NewSLOs(spec string) (*SLOs, error) {
+	specs, err := slo.ParseSpecs(spec)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := slo.NewTracker(specs...)
+	if err != nil {
+		return nil, err
+	}
+	return &SLOs{tr: tr}, nil
+}
+
+// Specs returns the tracker's objectives.
+func (s *SLOs) Specs() []SLOSpec { return s.tr.Specs() }
+
+// Observe feeds one round's sample under key and returns the updated
+// status of every objective for that key.
+func (s *SLOs) Observe(key string, sm SLOSample) []SLOStatus { return s.tr.Observe(key, sm) }
+
+// StartRun resets the rolling windows for key (a fresh run or replay
+// of the same key); the transition log is retained.
+func (s *SLOs) StartRun(key string) { s.tr.StartRun(key) }
+
+// Statuses returns the standing budget state of every objective × key.
+func (s *SLOs) Statuses() []SLOStatus { return s.tr.Statuses() }
+
+// StatusesFor returns the standing budget state of every objective
+// for one key.
+func (s *SLOs) StatusesFor(key string) []SLOStatus { return s.tr.StatusesFor(key) }
+
+// Log returns the burn-rate transition history so far, oldest first.
+func (s *SLOs) Log() []SLOEvent { return s.tr.Log() }
+
+// LogSince returns the transitions at or after cursor plus the cursor
+// for the next call; cursors are absolute, so they stay valid across
+// log discards (skipped events count toward Dropped).
+func (s *SLOs) LogSince(cursor int) ([]SLOEvent, int) { return s.tr.LogSince(cursor) }
+
+// Dropped returns how many old transitions the bounded log discarded.
+func (s *SLOs) Dropped() int { return s.tr.Dropped() }
+
+// String renders the tracker's standing state one status per line —
+// convenient for CLI summaries.
+func (s *SLOs) String() string {
+	var out string
+	for _, st := range s.tr.Statuses() {
+		out += fmt.Sprintf("%-8s %-24s %-4s burn=%.2f spend=%.0f%% (%d/%d bad over %d rounds)\n",
+			st.SLO, st.Key, st.Level, st.Burn, 100*st.Spend, st.Bad, int(st.Budget), st.Rounds)
+	}
+	return out
+}

@@ -51,6 +51,7 @@ import (
 	"wsnq/internal/msg"
 	"wsnq/internal/prof"
 	"wsnq/internal/series"
+	"wsnq/internal/slo"
 	"wsnq/internal/telemetry"
 	"wsnq/internal/trace"
 )
@@ -482,6 +483,7 @@ type Telemetry struct {
 	st  *series.Store
 	eng *alert.Engine
 	rec *prof.Recorder
+	slt *slo.Tracker
 }
 
 // NewTelemetry returns an empty telemetry sink. Lifetime projections
@@ -555,27 +557,40 @@ func (t *Telemetry) AttachProf(p *Prof) {
 	t.rec = p.rec
 }
 
-func (t *Telemetry) attached() (*series.Store, *alert.Engine, *prof.Recorder) {
+// AttachSLO adds an SLO tracker to the HTTP surface: /slo starts
+// serving its budget statuses and burn-rate log, and /dashboard grows
+// the error-budget panel. A nil s detaches.
+func (t *Telemetry) AttachSLO(s *SLOs) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.st, t.eng, t.rec
+	if s == nil {
+		t.slt = nil
+		return
+	}
+	t.slt = s.tr
+}
+
+func (t *Telemetry) attached() (*series.Store, *alert.Engine, *prof.Recorder, *slo.Tracker) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st, t.eng, t.rec, t.slt
 }
 
 // Handler returns the HTTP exposition surface: /metrics (registry
 // snapshot plus runtime.* health gauges sampled at scrape time),
-// /health (health report), /series, /alerts, and /profilez (when
-// attached — see AttachSeries/AttachAlerts/AttachProf), /dashboard,
-// and /debug/pprof.
+// /health (health report), /series, /alerts, /profilez, and /slo
+// (when attached — see AttachSeries/AttachAlerts/AttachProf/
+// AttachSLO), /dashboard, and /debug/pprof.
 func (t *Telemetry) Handler() http.Handler {
-	st, eng, rec := t.attached()
-	return telemetry.Handler(t.reg, t.an, st, eng, rec)
+	st, eng, rec, slt := t.attached()
+	return telemetry.Handler(t.reg, t.an, st, eng, rec, slt)
 }
 
 // Serve binds addr (e.g. ":8080", "127.0.0.1:0") and serves Handler in
 // the background until ctx is cancelled, returning the bound address.
 func (t *Telemetry) Serve(ctx context.Context, addr string) (string, error) {
-	st, eng, rec := t.attached()
-	return telemetry.Serve(ctx, addr, t.reg, t.an, st, eng, rec)
+	st, eng, rec, slt := t.attached()
+	return telemetry.Serve(ctx, addr, t.reg, t.an, st, eng, rec, slt)
 }
 
 // WithTelemetry attaches a live telemetry sink to the study. The engine
