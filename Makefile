@@ -5,7 +5,7 @@ FUZZTIME ?= 5s
 #   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: help build test check bench bench-json bench-diff race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard prof prof-guard chaos serve scenario slo slo-guard staticcheck
+.PHONY: help build test check bench bench-json bench-diff race vet fmt fuzz-smoke oracle trace-guard telemetry alert series-guard prof prof-guard chaos serve scenario slo slo-guard adapt adapt-guard staticcheck
 
 # help lists the targets; keep the `##` summaries next to the targets
 # they describe.
@@ -13,7 +13,7 @@ help:
 	@echo "wsnq targets:"
 	@echo "  build       compile every package and tool"
 	@echo "  test        run the full test suite"
-	@echo "  check       the merge gate: vet + staticcheck + race + oracle + telemetry + alert + prof + chaos + serve + scenario + slo + fuzz-smoke"
+	@echo "  check       the merge gate: vet + staticcheck + race + oracle + telemetry + alert + prof + chaos + serve + scenario + slo + adapt + fuzz-smoke"
 	@echo "  vet         static analysis"
 	@echo "  race        full suite under the race detector"
 	@echo "  oracle      flight-recorder collectors + invariant oracle suite"
@@ -27,6 +27,11 @@ help:
 	@echo "              goldens, serve /slo surface, and the live-vs-replay"
 	@echo "              budget-trajectory differential"
 	@echo "  slo-guard   per-round SLO evaluation overhead vs the 2% budget (idle machine)"
+	@echo "  adapt       closed-loop adaptation gate: policy grammar round-trips,"
+	@echo "              controller hysteresis/cooldown determinism, the pinned"
+	@echo "              golden adaptive study, cross-driver decision parity,"
+	@echo "              and the adapt-clause scenario goldens"
+	@echo "  adapt-guard per-round policy evaluation overhead vs the 2% budget (idle machine)"
 	@echo "  prof        profiling gate: attribution unit suite, golden attribution"
 	@echo "              snapshot, /profilez + pprof endpoint coverage, and the"
 	@echo "              allocation-ceiling regression guard"
@@ -137,6 +142,24 @@ slo:
 slo-guard:
 	SLO_GUARD=1 $(GO) test -count=1 -run '^TestSLOOverheadGuard$$' -v .
 
+# adapt gates the closed-loop adaptation layer: the policy grammar and
+# controller unit suite (round-trips, hysteresis, cooldowns, replay
+# determinism), the pinned golden adaptive study — the controller must
+# strictly beat the best static algorithm under the golden chaos plan —
+# and the cross-driver parity tests proving the batch engine, the
+# round-by-round Simulation, and the parallel grid all derive one
+# decision log. The timing half (the ≤2% per-round overhead budget)
+# lives in adapt-guard.
+adapt:
+	$(GO) test -v ./internal/adapt/
+	$(GO) test -count=1 -run '^(TestGoldenAdaptiveStudy|TestAdaptDecisionsDeterministicAcrossParallelism|TestSimulationControllerMatchesEngine|TestControllerResetForReuse|TestControllerCanonicalString)$$' -v .
+
+# adapt-guard measures the serve step path with a standing (never
+# firing) policy set attached against the plain step path and fails
+# beyond the 2% budget. Timing sensitive — run on an idle machine.
+adapt-guard:
+	ADAPT_GUARD=1 $(GO) test -count=1 -run '^TestAdaptOverheadGuard$$' -v .
+
 # fuzz-smoke gives each fuzz target a short budget of fresh inputs on
 # top of the committed corpus (go test -fuzz accepts one target at a
 # time, hence one invocation per target).
@@ -147,6 +170,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzBucketsIndex$$' -fuzztime $(FUZZTIME) ./internal/protocol/
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME) ./internal/fault/
 	$(GO) test -run '^$$' -fuzz '^FuzzParseScenario$$' -fuzztime $(FUZZTIME) ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePolicy$$' -fuzztime $(FUZZTIME) ./internal/adapt/
 
 # trace-guard measures the disabled flight recorder against the
 # pre-instrumentation hot path and fails beyond the 2% budget. Timing
@@ -176,9 +200,9 @@ staticcheck:
 # the full suite under the race detector (the parallel engine makes
 # this the interesting configuration), the oracle suite, the telemetry
 # gate, the observability gate, the profiling gate, the chaos gate,
-# the query-service gate, the golden-scenario gate, the SLO gate, and
-# a fuzz smoke run.
-check: vet staticcheck race oracle telemetry alert prof chaos serve scenario slo fuzz-smoke
+# the query-service gate, the golden-scenario gate, the SLO gate, the
+# closed-loop adaptation gate, and a fuzz smoke run.
+check: vet staticcheck race oracle telemetry alert prof chaos serve scenario slo adapt fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem .

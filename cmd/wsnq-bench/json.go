@@ -30,12 +30,30 @@ func runBenchDiff(oldPath, newPath string) error {
 	return benchfmt.FormatDiff(os.Stdout, oldF, newF)
 }
 
+// measure runs fn under testing.Benchmark reps times and keeps the
+// fastest sample. Allocations are deterministic per op, so the minimum
+// wall-clock rep measures the same work with the least scheduler
+// disturbance — the same noise filter the overhead guards use.
+func measure(reps int, fn func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	for i := 1; i < reps; i++ {
+		if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
 // runBenchJSON is the continuous-benchmarking mode: it measures every
-// tracked hot path with testing.Benchmark, pairs each sample with the
-// domain costs of a short study (frames and hottest-node energy per
-// round), and writes one schema-versioned BENCH_<date>.json for the
-// regression guard to diff against the previous session.
-func runBenchJSON(out string) error {
+// tracked hot path with testing.Benchmark (the fastest of reps
+// repetitions each), pairs each sample with the domain costs of a
+// short study (frames and hottest-node energy per round), and writes
+// one schema-versioned BENCH_<date>.json for the regression guard to
+// diff against the previous session.
+func runBenchJSON(out string, reps int) error {
+	if reps < 1 {
+		reps = 1
+	}
 	f := benchfmt.File{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -51,7 +69,7 @@ func runBenchJSON(out string) error {
 	for _, alg := range wsnq.StandardAlgorithms() {
 		name := "Round" + strings.ReplaceAll(string(alg), "-", "")
 		fmt.Fprintf(os.Stderr, "wsnq-bench: measuring %s...\n", name)
-		res := testing.Benchmark(func(b *testing.B) {
+		res := measure(reps, func(b *testing.B) {
 			cfg := wsnq.DefaultConfig()
 			cfg.Nodes = 500
 			cfg.Rounds = 1 << 30 // stepped manually
@@ -98,7 +116,7 @@ func runBenchJSON(out string) error {
 	// RoundIQSeries against RoundIQ across sessions guards the ingest
 	// overhead.
 	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring RoundIQSeries...")
-	seriesRes := testing.Benchmark(func(b *testing.B) {
+	seriesRes := measure(reps, func(b *testing.B) {
 		cfg := wsnq.DefaultConfig()
 		cfg.Nodes = 500
 		cfg.Rounds = 1 << 30 // stepped manually
@@ -130,12 +148,56 @@ func runBenchJSON(out string) error {
 		AllocsPerOp: seriesRes.AllocsPerOp(),
 	})
 
+	// The controller decision hot path: the same warm IQ round with a
+	// closed-loop controller attached — the private series tap, the
+	// alert engine pass, and the policy evaluation every adaptive study
+	// pays per round. The heap/gc presets only fire on profiled runs,
+	// so the policies stand armed but never act and the sample stays a
+	// pure evaluation cost with deterministic allocations. Diffing
+	// RoundIQAdapt against RoundIQSeries across sessions isolates the
+	// policy evaluation (the controller's private tap is the same
+	// series ingest that benchmark pays).
+	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring RoundIQAdapt...")
+	adaptRes := measure(reps, func(b *testing.B) {
+		cfg := wsnq.DefaultConfig()
+		cfg.Nodes = 500
+		cfg.Rounds = 1 << 30 // stepped manually
+		cfg.Runs = 1
+		sim, err := wsnq.NewSimulation(cfg, wsnq.IQ)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl, err := wsnq.NewController("on heap(crit) do widen 2; on gc(warn) do narrow 2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.SetController(ctl); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Step(); err != nil { // initialization round
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f.Results = append(f.Results, benchfmt.Result{
+		Name:        "RoundIQAdapt",
+		NsPerOp:     float64(adaptRes.NsPerOp()),
+		BytesPerOp:  adaptRes.AllocedBytesPerOp(),
+		AllocsPerOp: adaptRes.AllocsPerOp(),
+	})
+
 	// The query service's registration path: what every POST /queries
 	// pays to admit a query and assemble its runtime over the shared
 	// deployment. Registered queries are deregistered in the same
 	// iteration so the registry size stays flat across b.N.
 	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring ServeRegisterQuery...")
-	serveRes := testing.Benchmark(func(b *testing.B) {
+	serveRes := measure(reps, func(b *testing.B) {
 		srv := wsnq.NewServer(wsnq.ServerConfig{})
 		fcfg := wsnq.DefaultConfig()
 		fcfg.Nodes = 60
@@ -171,7 +233,7 @@ func runBenchJSON(out string) error {
 	// alternate good and bad rounds so the rings, the budget ledger,
 	// and the level classification all do real work.
 	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring ServeSLOEval...")
-	sloRes := testing.Benchmark(func(b *testing.B) {
+	sloRes := measure(reps, func(b *testing.B) {
 		slos, err := wsnq.NewSLOs("rank; fresh; latency")
 		if err != nil {
 			b.Fatal(err)
@@ -198,7 +260,7 @@ func runBenchJSON(out string) error {
 	// One whole-study engine sample: a shared-deployment comparison of
 	// the standard line-up (no per-round interpretation).
 	fmt.Fprintln(os.Stderr, "wsnq-bench: measuring EngineCompare...")
-	res := testing.Benchmark(func(b *testing.B) {
+	res := measure(reps, func(b *testing.B) {
 		cfg := wsnq.DefaultConfig()
 		cfg.Nodes = 200
 		cfg.Rounds = 50

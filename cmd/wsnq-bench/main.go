@@ -53,6 +53,7 @@ func main() {
 		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
 		jsonBench = flag.Bool("json", false, "continuous-benchmarking mode: measure the tracked hot paths and write a BENCH_<date>.json")
 		jsonOut   = flag.String("out", "", "with -json: output file (default BENCH_<today>.json)")
+		jsonReps  = flag.Int("reps", 3, "with -json: repetitions per hot path; the fastest is recorded, filtering scheduler noise")
 		diffBench = flag.Bool("diff", false, "diff two BENCH_*.json sessions (wsnq-bench -diff OLD.json NEW.json) and exit")
 		profAttr  = flag.Bool("prof", false, "attribute CPU time and allocations to algorithm×phase buckets and print the table after the sweep (forces sequential runs)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to DIR/cpu.pprof (phase-labeled with -prof)")
@@ -80,7 +81,7 @@ func main() {
 		return
 	}
 	if *jsonBench {
-		if err := runBenchJSON(*jsonOut); err != nil {
+		if err := runBenchJSON(*jsonOut, *jsonReps); err != nil {
 			sess.Fatal(err)
 		}
 		return

@@ -55,6 +55,8 @@ func main() {
 
 		sloSpec = flag.String("slo", "", "default SLO objectives for every query (ParseSLOSpecs grammar, e.g. \"rank; fresh; latency ms=25\"); budget status lands in updates, GET /slo, and the dashboard")
 
+		adaptSpec = flag.String("adapt", "", "default closed-loop adaptation policies for every query (policy grammar, e.g. \"on storm(warn) do switch hbc; on burnrate(crit) do reroot\"); each query gets its own controller and its decisions land in updates")
+
 		maxQueries  = flag.Int("max-queries", 0, "admission control: concurrent query cap (0 = default 4096, negative = unlimited)")
 		clientQuota = flag.Int("client-quota", 0, "admission control: queries per client name (0 = unlimited)")
 		seriesCap   = flag.Int("series-cap", 0, "per-query series store capacity in points (0 = default 64)")
@@ -105,9 +107,17 @@ func main() {
 		if *sloSpec == "" {
 			*sloSpec = sc.SLOSpecs()
 		}
+		if *adaptSpec == "" {
+			*adaptSpec = sc.AdaptPolicies()
+		}
 	}
 	if *sloSpec != "" {
 		if _, err := wsnq.ParseSLOSpecs(*sloSpec); err != nil {
+			sess.Fatal(err)
+		}
+	}
+	if *adaptSpec != "" {
+		if _, err := wsnq.NewController(*adaptSpec); err != nil {
 			sess.Fatal(err)
 		}
 	}
@@ -123,6 +133,7 @@ func main() {
 		SubscriberBuffer: *subBuffer,
 		Workers:          *workers,
 		SLO:              *sloSpec,
+		Adapt:            *adaptSpec,
 		Observer:         ob,
 	})
 	fleets := make([]string, 0, *fleetN)

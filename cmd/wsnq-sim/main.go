@@ -14,6 +14,7 @@
 //	wsnq-sim -replay storm.rec.jsonl                               # replay it offline, bit-identically
 //	wsnq-sim -alg IQ -slo "rank; fresh"                            # grade the run against SLO error budgets
 //	wsnq-sim -replay storm.rec.jsonl -replay-window 40:48          # re-drive one exemplar's round span
+//	wsnq-sim -loss 0.1 -alg ADAPT -adapt "on storm(warn) do switch hbc"   # close the loop: alerts drive protocol actions
 package main
 
 import (
@@ -56,6 +57,7 @@ func main() {
 		alertSpec = flag.String("alert", "", cli.AlertRulesUsage)
 		faultSpec = flag.String("fault", "", cli.FaultPlanUsage)
 		sloSpec   = flag.String("slo", "", "evaluate SLO objectives over the study's per-round series and print budget statuses (ParseSLOSpecs grammar, e.g. \"rank; fresh\"; forces sequential runs)")
+		adaptSpec = flag.String("adapt", "", "attach a closed-loop adaptation controller to every run and print its decision log (policy grammar, e.g. \"on storm(warn) do switch hbc; on burnrate(crit) do reroot\")")
 
 		scenarioFile = flag.String("scenario", "", cli.ScenarioUsage)
 		recordFile   = flag.String("record", "", "with -scenario: capture a replayable JSONL recording to FILE")
@@ -165,6 +167,14 @@ func main() {
 			ob.Telemetry.AttachSLO(slos)
 		}
 	}
+	var controller *wsnq.Controller
+	if *adaptSpec != "" {
+		var err error
+		if controller, err = wsnq.NewController(*adaptSpec); err != nil {
+			s.Fatal(err)
+		}
+		opts = append(opts, wsnq.WithAdaptation(controller))
+	}
 	var flushTrace func() error
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -213,6 +223,14 @@ func main() {
 	if ob.Alerts != nil {
 		fmt.Println()
 		cli.PrintAlerts(os.Stdout, ob.Alerts.States(), ob.Alerts.Log())
+	}
+
+	if controller != nil {
+		ds := controller.Decisions()
+		fmt.Printf("\nadaptation decisions (%d):\n", len(ds))
+		for _, d := range ds {
+			fmt.Printf("  %s\n", d)
+		}
 	}
 
 	if slos != nil {
@@ -344,8 +362,8 @@ func printOutcome(out *wsnq.ScenarioOutcome) {
 	}
 	series := out.Series()
 	verdicts := out.Verdicts()
-	fmt.Printf("\n%d series keys, %d verdicts, %d alert events, %d SLO events\n",
-		len(series), len(verdicts), len(out.Alerts()), len(out.SLOEvents()))
+	fmt.Printf("\n%d series keys, %d verdicts, %d alert events, %d SLO events, %d adapt decisions\n",
+		len(series), len(verdicts), len(out.Alerts()), len(out.SLOEvents()), len(out.AdaptDecisions()))
 	if log := out.Alerts(); len(log) > 0 {
 		fmt.Print(log.String())
 	}
@@ -357,6 +375,12 @@ func printOutcome(out *wsnq.ScenarioOutcome) {
 		}
 		for _, ev := range out.SLOEvents() {
 			fmt.Printf("  %s\n", ev.Message)
+		}
+	}
+	if ds := out.AdaptDecisions(); len(ds) > 0 {
+		fmt.Println("adaptation decisions:")
+		for _, d := range ds {
+			fmt.Printf("  %s\n", d)
 		}
 	}
 	fmt.Printf("outcome sha256 %s\n", out.Hash())

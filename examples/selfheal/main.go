@@ -1,0 +1,73 @@
+// Closed-loop self-healing: a declarative policy set turns the alert
+// layer's observations — orphaned subtrees after a relay crash,
+// sustained rank-error excursions under heavy per-hop loss — into
+// protocol actions: a proactive reroot away from the hottest relay and
+// a narrowed IQ validation interval Ξ that keeps raw values off the
+// lossy air. The same chaos plan is run three ways (static IQ, static
+// HBC, IQ plus controller) so the controller's effect is visible as
+// fewer degraded rounds and a longer network lifetime, and its full
+// decision log is printed.
+//
+//	go run ./examples/selfheal
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wsnq"
+)
+
+func main() {
+	cfg := wsnq.Config{
+		Nodes: 60, Area: 200, RadioRange: 45,
+		Phi: 0.5, Rounds: 60, Runs: 1, Seed: 11,
+		LossProb: 0.3,
+		Dataset:  wsnq.Dataset{Kind: wsnq.SyntheticData, Universe: 1 << 12},
+	}
+	// Crash the highest-load relay for rounds 15–27. Node 41 carries
+	// the largest subtree in this seed's topology; vary the seed and
+	// pick any non-leaf.
+	plan, err := wsnq.ParseFaultPlan("crash@15-27:n41")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctl, err := wsnq.NewController(
+		"on excursion(warn) do narrow 2 cooldown 16; on orphan(warn) do reroot cooldown 30")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	static, err := wsnq.Compare(cfg, []wsnq.Algorithm{wsnq.IQ, wsnq.HBC}, wsnq.WithFaults(plan))
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := wsnq.Compare(cfg, []wsnq.Algorithm{wsnq.IQ},
+		wsnq.WithFaults(plan), wsnq.WithAdaptation(ctl))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("configuration     degraded rounds   lifetime[rounds]   frames/round")
+	for _, row := range []struct {
+		name string
+		m    wsnq.Metrics
+	}{
+		{"static IQ", static[wsnq.IQ]},
+		{"static HBC", static[wsnq.HBC]},
+		{"IQ + controller", adaptive[wsnq.IQ]},
+	} {
+		fmt.Printf("%-17s %15d %18.0f %14.1f\n",
+			row.name, row.m.DegradedRounds, row.m.LifetimeRounds, row.m.FramesPerRound)
+	}
+
+	fmt.Println("\ncontroller decisions:")
+	for _, d := range ctl.Decisions() {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Println("\nThe controller sees the crash as orphaned subtrees and reroots around")
+	fmt.Println("the hot relay; the loss-driven rank-error excursions trigger Ξ")
+	fmt.Println("narrowing, which takes raw values off the lossy air — fewer degraded")
+	fmt.Println("answers and a longer lifetime than either static protocol.")
+}

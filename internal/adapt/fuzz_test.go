@@ -1,0 +1,46 @@
+package adapt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParsePolicy checks the grammar's core invariant on arbitrary
+// input: whatever Parse accepts must render back through Format into a
+// canonical form that re-parses to the identical policy list — and the
+// canonical form must be a fixed point.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add("on storm do switch iq")
+	f.Add("on storm(crit) do switch hbc hold 2 cooldown 16")
+	f.Add("on excursion(warn) do narrow 2 hold 1 cooldown 8")
+	f.Add("on orphan do widen 1.5 cooldown 4")
+	f.Add("on burnrate(crit) do reroot hold 3")
+	f.Add("on sloburn do switch pos; on slospend(crit) do reroot")
+	f.Add("on gc do reroot; on heap do reroot")
+	f.Add("on storm do widen 1e6")
+	f.Add(" ; on storm do reroot ; ")
+	f.Add("on storm(warn do reroot")
+	f.Add("on storm do reroot hold -1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		ps, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		for _, p := range ps {
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("Parse(%q) returned invalid policy %+v: %v", spec, p, verr)
+			}
+		}
+		canon := Format(ps)
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if !reflect.DeepEqual(again, ps) {
+			t.Fatalf("round-trip of %q diverged:\n  first:  %+v\n  second: %+v", spec, ps, again)
+		}
+		if canon2 := Format(again); canon2 != canon {
+			t.Fatalf("canonical form of %q is not a fixed point: %q vs %q", spec, canon, canon2)
+		}
+	})
+}

@@ -92,6 +92,7 @@ var metrics = map[string]func(series.Point) float64{
 	"rank_error":      func(p series.Point) float64 { return float64(p.RankError) },
 	"refines":         func(p series.Point) float64 { return float64(p.Refines) },
 	"retries":         func(p series.Point) float64 { return float64(p.Retries) },
+	"adapts":          func(p series.Point) float64 { return float64(p.Adapts) },
 	"orphans":         func(p series.Point) float64 { return float64(p.Orphans) },
 	"hot_joules":      func(p series.Point) float64 { return p.HotJoules },
 	// Fault-visibility and serve-layer columns (PR 5 / the query

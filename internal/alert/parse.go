@@ -13,7 +13,7 @@ import (
 //	expr    = metric [ ":" agg "(" window ")" ] cmp warn [ "," crit ]
 //	metric  = frames | messages | joules | bits | validation_bits |
 //	          refinement_bits | shipping_bits | other_bits |
-//	          rank_error | refines | retries | orphans |
+//	          rank_error | refines | retries | orphans | adapts |
 //	          deficit | staleness | step_ms | slo_burn | slo_spend |
 //	          hot_joules | lifetime | heap_bytes | goroutines |
 //	          gc_pause_ms | alloc_bytes | allocs

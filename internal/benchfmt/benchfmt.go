@@ -70,16 +70,19 @@ type Result struct {
 // TrackedHotPaths lists the benchmarks the regression guard watches:
 // the per-round protocol costs of the §5.1.6 line-up, the traced IQ
 // round with series ingestion attached (the observability overhead
-// the alert pipeline rides on), the query service's registration
-// path (what every POST /queries pays), and the serve layer's
-// per-round SLO evaluation (what every query with objectives pays on
-// top of its protocol round). A >15% slowdown of any of them fails
-// the guard; benchmarks absent from either session are skipped, so
-// old files without the newer paths still diff cleanly.
+// the alert pipeline rides on), the IQ round with a closed-loop
+// controller attached (the per-round policy-evaluation cost every
+// adaptive study pays), the query service's registration path (what
+// every POST /queries pays), and the serve layer's per-round SLO
+// evaluation (what every query with objectives pays on top of its
+// protocol round). A >15% slowdown of any of them fails the guard;
+// benchmarks absent from either session are skipped, so old files
+// without the newer paths still diff cleanly.
 func TrackedHotPaths() []string {
 	return []string{
 		"RoundTAG", "RoundPOS", "RoundLCLLH", "RoundLCLLS", "RoundHBC", "RoundIQ",
 		"RoundIQSeries",
+		"RoundIQAdapt",
 		"ServeRegisterQuery",
 		"ServeSLOEval",
 	}

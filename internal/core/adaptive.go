@@ -29,6 +29,7 @@ type Adaptive struct {
 	current    int
 	rounds     int
 	lastBits   int
+	pinned     int // controller-pinned strategy index; -1 = cost-driven
 
 	k, n int
 	prev []int // shared previous-reading array
@@ -85,6 +86,7 @@ func NewAdaptive(opts AdaptiveOptions) *Adaptive {
 		iq:              NewIQ(opts.IQ),
 		hbc:             NewHBC(opts.HBC),
 		pos:             baseline.NewPOS(opts.POS),
+		pinned:          -1,
 	}
 }
 
@@ -98,6 +100,39 @@ func (a *Adaptive) Using() string {
 	}
 	return a.strategies[a.current].name
 }
+
+// Pin forces the named strategy ("IQ", "HBC", "POS"; case-sensitive
+// protocol names) for every following round, overriding the EWMA cost
+// comparison — the hook the closed-loop controller (internal/adapt)
+// drives on alert signals instead of measured traffic. The switch
+// itself still happens inside the next Step, over the §4.2 shared
+// state, paying the usual mode-switch broadcast. Returns false when the
+// name matches no initialized strategy (e.g. "POS" without UsePOS) or
+// before Init. Unpin restores cost-driven selection.
+func (a *Adaptive) Pin(name string) bool {
+	for i := range a.strategies {
+		if a.strategies[i].name == name {
+			a.pinned = i
+			return true
+		}
+	}
+	return false
+}
+
+// Unpin restores EWMA cost-driven strategy selection after a Pin.
+func (a *Adaptive) Unpin() { a.pinned = -1 }
+
+// Pinned returns the pinned strategy name ("" when cost-driven).
+func (a *Adaptive) Pinned() string {
+	if a.pinned < 0 || a.pinned >= len(a.strategies) {
+		return ""
+	}
+	return a.strategies[a.pinned].name
+}
+
+// IQ exposes the wrapped IQ strategy so the closed-loop controller can
+// tune its Ξ interval (IQ.ScaleXi) through the switcher.
+func (a *Adaptive) IQ() *IQ { return a.iq }
 
 // Init implements protocol.Algorithm: one TAG initialization seeds the
 // shared state of every strategy.
@@ -172,9 +207,13 @@ func (a *Adaptive) Step(rt *sim.Runtime) (int, error) {
 	return q, nil
 }
 
-// choose picks the strategy index for the next round: normally the
-// cheapest estimate, but on probing rounds the stalest alternative.
+// choose picks the strategy index for the next round: a
+// controller-pinned strategy wins outright; otherwise the cheapest
+// estimate, with probing rounds visiting the stalest alternative.
 func (a *Adaptive) choose() int {
+	if a.pinned >= 0 && a.pinned < len(a.strategies) {
+		return a.pinned
+	}
 	// Warm-up: make sure every strategy has at least one sample.
 	for i := range a.strategies {
 		if a.strategies[i].cost.n == 0 {

@@ -19,13 +19,14 @@ import (
 type IQ struct {
 	IQOptions
 
-	k, n   int
-	filter int // v^{t-1}, known to all nodes
-	state  protocol.LEG
-	prev   []int
-	xiL    int   // ξ_l <= 0
-	xiR    int   // ξ_r >= 0
-	hist   []int // the m most recent quantiles, oldest first
+	k, n    int
+	filter  int // v^{t-1}, known to all nodes
+	state   protocol.LEG
+	prev    []int
+	xiL     int     // ξ_l <= 0
+	xiR     int     // ξ_r >= 0
+	hist    []int   // the m most recent quantiles, oldest first
+	xiScale float64 // controller-applied Ξ scale; 0 or 1 = paper behavior
 }
 
 // IQOptions tunes §4.2's knobs.
@@ -65,6 +66,70 @@ func (q *IQ) Name() string { return "IQ" }
 
 // Xi returns the current interval offsets (ξ_l, ξ_r).
 func (q *IQ) Xi() (xiL, xiR int) { return q.xiL, q.xiR }
+
+// Ξ-scale clamp bounds: a controller can widen the interval at most
+// 8-fold and narrow it to at most a quarter of the trend-derived ξ.
+const (
+	minXiScale = 0.25
+	maxXiScale = 8
+)
+
+// ScaleXi multiplies the controller's Ξ scale by factor (>1 widens the
+// interval, <1 narrows it), clamped to [0.25, 8]. The scale is applied
+// on top of the §4.2.2 trend recomputation every round, so it acts as a
+// standing bias rather than a one-shot nudge: a widened interval
+// tolerates larger value swings (fewer refinements and filter
+// broadcasts — the closed-loop response to a refinement storm or fault
+// window), a narrowed one validates more aggressively after rank-error
+// excursions. Returns false for a non-positive factor.
+func (q *IQ) ScaleXi(factor float64) bool {
+	if factor <= 0 {
+		return false
+	}
+	s := q.xiScale
+	if s == 0 {
+		s = 1
+	}
+	s *= factor
+	if s < minXiScale {
+		s = minXiScale
+	}
+	if s > maxXiScale {
+		s = maxXiScale
+	}
+	q.xiScale = s
+	q.applyXiScale()
+	return true
+}
+
+// XiScale returns the standing controller scale (1 when untouched).
+func (q *IQ) XiScale() float64 {
+	if q.xiScale == 0 {
+		return 1
+	}
+	return q.xiScale
+}
+
+// applyXiScale stretches the trend-derived offsets by the standing
+// scale. Widening guarantees at least one unit of slack on both sides
+// (a degenerate [0,0] interval would otherwise stay degenerate however
+// large the scale); narrowing rounds toward zero.
+func (q *IQ) applyXiScale() {
+	s := q.xiScale
+	if s == 0 || s == 1 {
+		return
+	}
+	q.xiL = int(float64(q.xiL) * s)
+	q.xiR = int(float64(q.xiR) * s)
+	if s > 1 {
+		if q.xiL > -1 {
+			q.xiL = -1
+		}
+		if q.xiR < 1 {
+			q.xiR = 1
+		}
+	}
+}
 
 // Filter returns the current filter value v^{t-1}.
 func (q *IQ) Filter() int { return q.filter }
@@ -264,6 +329,7 @@ func (q *IQ) observe(v int) {
 		}
 	}
 	q.xiL, q.xiR = xiL, xiR
+	q.applyXiScale()
 }
 
 // legFromBelow assembles the LEG around a point filter from the exact

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"wsnq/internal/adapt"
 	"wsnq/internal/alert"
 	"wsnq/internal/fault"
 	"wsnq/internal/prof"
@@ -111,6 +112,31 @@ type Options struct {
 	// ARQ overrides the link-layer acknowledgement/retransmission
 	// policy used when Faults is set. Nil selects sim.DefaultARQ().
 	ARQ *sim.ARQConfig
+
+	// Adapt, when non-nil with a non-empty policy set, attaches a
+	// closed-loop adaptation controller (internal/adapt) to every grid
+	// job: a fresh controller per run observes that run's raw per-round
+	// points and applies fired policies — protocol switches, Ξ
+	// rescaling, proactive reroots — to the run's own runtime between
+	// rounds. Controllers are strictly per-run state driven only by
+	// per-run streams, so — unlike Trace or Series — adaptation does
+	// not force sequential execution and grids stay bit-identical at
+	// every Parallelism setting.
+	Adapt *AdaptOptions
+}
+
+// AdaptOptions configures the engine's closed-loop adaptation.
+type AdaptOptions struct {
+	// Policies is the declarative policy set every run's controller
+	// evaluates (adapt.Parse). An empty set disables adaptation.
+	Policies []adapt.Policy
+
+	// Log, when non-nil, receives each finished job's decision log
+	// together with the job identity and its series key. With more than
+	// one worker it is called from concurrent goroutines — the callback
+	// must synchronize; order across jobs then follows scheduling, so
+	// deterministic consumers should reorder by (cell, algorithm, run).
+	Log func(j TraceJob, key string, ds []adapt.Decision)
 }
 
 // TraceJob identifies one grid job handed to Options.Trace.
@@ -372,6 +398,13 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 		jobStart := time.Now()
 		cfg := cfgs[j.cell]
 		dep, err := deps[j.cell][j.run].get(cfg, j.run)
+		var ctl *adapt.Controller
+		if err == nil && opts.Adapt != nil && len(opts.Adapt.Policies) > 0 {
+			// One fresh controller per run: its hysteresis state and
+			// decision log are pure functions of this run's point stream,
+			// which is what keeps parallel grids bit-identical.
+			ctl, err = adapt.NewController(cfg.Energy.InitialBudget, opts.Adapt.Policies...)
+		}
 		if err == nil {
 			var tc trace.Collector
 			if opts.Trace != nil {
@@ -386,8 +419,15 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 				})
 			}
 			mkTrace := func(rt *sim.Runtime) trace.Collector {
-				if seriesStore == nil {
-					return tc
+				store := seriesStore
+				if store == nil {
+					if ctl == nil {
+						return tc
+					}
+					// A per-run private store derives the controller's
+					// point stream without sharing state across workers —
+					// adaptation alone never forces sequential execution.
+					store = series.New(1)
 				}
 				// The series recorder samples the fresh runtime's
 				// cumulative counters at round boundaries instead of
@@ -401,11 +441,14 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 				if opts.PointSink != nil {
 					sinks = append(sinks, opts.PointSink)
 				}
+				if ctl != nil {
+					sinks = append(sinks, ctl.Observe)
+				}
 				sampler := SeriesSampler(rt)
 				if opts.Prof != nil {
 					sampler = withRuntimeStats(sampler, prof.NewRuntimeSampler())
 				}
-				return trace.Multi(tc, seriesStore.IngestTotals(key, sampler, sinks...))
+				return trace.Multi(tc, store.IngestTotals(key, sampler, sinks...))
 			}
 			var flt *faultRig
 			if opts.Faults != nil {
@@ -436,12 +479,23 @@ func runGrid(ctx context.Context, cfgs []Config, cellLabels []string, algs []Nam
 					labels = append(labels, "cell", cellLabels[j.cell])
 				}
 				pprof.Do(ctx, pprof.Labels(labels...), func(c context.Context) {
-					m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt, opts.Prof.Attach(c, name))
+					m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt, opts.Prof.Attach(c, name), ctl)
 				})
 			} else {
-				m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt, nil)
+				m, err = runOn(cfg, dep, algs[j.alg].New(), mkTrace, flt, nil, ctl)
 			}
 			if err == nil {
+				if ctl != nil && opts.Adapt.Log != nil {
+					label := ""
+					if cellLabels != nil {
+						label = cellLabels[j.cell]
+					}
+					opts.Adapt.Log(TraceJob{
+						Cell: j.cell, CellLabel: label,
+						Algorithm: j.alg, AlgorithmName: algs[j.alg].Name,
+						Run: j.run,
+					}, seriesKey(j), ctl.Decisions())
+				}
 				perRun[j.cell][j.alg][j.run] = []Metrics{m}
 				record(algs[j.alg].Name, m, time.Since(jobStart))
 				return

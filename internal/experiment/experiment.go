@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"wsnq/internal/adapt"
 	"wsnq/internal/data"
 	"wsnq/internal/energy"
 	"wsnq/internal/fault"
@@ -214,6 +215,10 @@ type Metrics struct {
 	DegradedRounds  int
 	Repairs         int
 	RetriesPerRound float64
+
+	// Adapts counts the closed-loop controller actions applied over all
+	// runs (zero unless Options.Adapt attaches policies).
+	Adapts int
 }
 
 // Run executes the cell for one algorithm and averages over cfg.Runs.
@@ -242,6 +247,7 @@ func aggregate(runs []Metrics) Metrics {
 		agg.Reinits += m.Reinits
 		agg.DegradedRounds += m.DegradedRounds
 		agg.Repairs += m.Repairs
+		agg.Adapts += m.Adapts
 		agg.RetriesPerRound += m.RetriesPerRound
 		agg.EnergyGini += m.EnergyGini
 		agg.HotspotToMedianRatio += m.HotspotToMedianRatio
@@ -288,8 +294,12 @@ type faultRig struct {
 // repair flag or a Step desynchronization replays the protocol's
 // initialization over temporarily reliable links. ph, when non-nil,
 // attaches phase-attribution profiling to the runtime (closed together
-// with the trace via EndTrace).
-func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*sim.Runtime) trace.Collector, flt *faultRig, ph *prof.Handle) (Metrics, error) {
+// with the trace via EndTrace). ctl, when non-nil, is this run's
+// closed-loop controller: it already observes the point stream through
+// the trace collector; runOn binds it to the live algorithm and drains
+// its queued decisions right after every AdvanceRound — an action
+// decided on round t's data acts before round t+1 steps.
+func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*sim.Runtime) trace.Collector, flt *faultRig, ph *prof.Handle, ctl *adapt.Controller) (Metrics, error) {
 	rt, err := dep.NewRuntime(cfg)
 	if err != nil {
 		return Metrics{}, err
@@ -307,6 +317,9 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 		if err := rt.SetFaults(flt.plan, flt.seed, flt.arq); err != nil {
 			return Metrics{}, err
 		}
+	}
+	if ctl != nil {
+		ctl.Bind(adapt.BindRuntime(alg, rt))
 	}
 	k := cfg.K()
 
@@ -353,6 +366,14 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 	record(q)
 	for t := 1; t < cfg.Rounds; t++ {
 		rt.AdvanceRound()
+		if ctl != nil {
+			// The previous round's point has just flushed through the
+			// sinks (AdvanceRound emits RoundEnd before advancing), so
+			// the controller's queue holds exactly the decisions from
+			// completed rounds. A proactive reroot sets the repair flag,
+			// which the reinit check below picks up immediately.
+			ctl.Apply()
+		}
 		if flt != nil && rt.ConsumeReinit() {
 			// Tree repair (or crash recovery) moved nodes; the protocol
 			// state no longer matches the topology, so the root replays
@@ -398,6 +419,7 @@ func runOn(cfg Config, dep *Deployment, alg protocol.Algorithm, mkTrace func(*si
 	m.MeanRankError = errSum / rounds
 	m.Repairs = rt.Repairs()
 	m.RetriesPerRound = float64(st.Retries) / rounds
+	m.Adapts = st.Adapts
 
 	switch {
 	case died > 0:

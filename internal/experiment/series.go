@@ -19,6 +19,7 @@ func SeriesSampler(rt *sim.Runtime) series.Sampler {
 			Messages:       st.PayloadsSent,
 			Frames:         st.FramesSent,
 			Retries:        st.Retries,
+			Adapts:         st.Adapts,
 			ValidationBits: st.PerPhase[sim.PhaseValidation].Bits + st.PerPhase[sim.PhaseFilter].Bits,
 			RefinementBits: st.PerPhase[sim.PhaseRefinement].Bits,
 			ShippingBits:   st.PerPhase[sim.PhaseCollect].Bits + st.PerPhase[sim.PhaseInit].Bits,

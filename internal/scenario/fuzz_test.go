@@ -32,6 +32,9 @@ func FuzzParseScenario(f *testing.F) {
 	f.Add("slo rank\n")
 	f.Add("slo rank epsilon=0.02 objective=0.999\nslo fresh stale=2\nslo latency ms=25 fast=4 slow=32 warn=3 crit=10\n")
 	f.Add("slo bogus\nslo rank epsilon=\nslo rank name=a\nslo rank name=a\n")
+	f.Add("adapt on storm(warn) do switch iq\n")
+	f.Add("adapt on burnrate(crit) do reroot hold 3 cooldown 16; on excursion(warn) do widen 1.5\n")
+	f.Add("adapt on storm do narrow 2 cooldown 0\nadapt on bogus do reroot\n")
 	f.Add("sweep loss 0.05,0.1,0.2\n")
 	f.Add("sweep nodes 10,20,40\n")
 	f.Add("# comment\n\nnodes 12\n")

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"wsnq/internal/adapt"
 	"wsnq/internal/alert"
 	"wsnq/internal/series"
 	"wsnq/internal/slo"
@@ -110,6 +111,10 @@ func Replay(r io.Reader) (*Outcome, error) {
 	store := series.New(s.Capacity)
 	var eng *alert.Engine
 	var sinks []series.Sink
+	budget, err := replayBudget(s)
+	if err != nil {
+		return nil, err
+	}
 	if len(s.Alerts) > 0 {
 		eng, err = alert.NewEngine(s.Alerts...)
 		if err != nil {
@@ -117,11 +122,7 @@ func Replay(r io.Reader) (*Outcome, error) {
 		}
 		// Mirror the live engine's budget wiring so burn-rate rules
 		// project against the same per-node supply.
-		cfg, err := s.Config()
-		if err != nil {
-			return nil, err
-		}
-		eng.DefaultBudget(cfg.Energy.InitialBudget)
+		eng.DefaultBudget(budget)
 		sinks = append(sinks, eng.Observe)
 	}
 	var tracker *slo.Tracker
@@ -130,6 +131,7 @@ func Replay(r io.Reader) (*Outcome, error) {
 			return nil, err
 		}
 	}
+	ctls := newReplayControllers(s, budget)
 
 	out := &Outcome{Scenario: s, Replayed: true}
 	sc := bufio.NewScanner(br)
@@ -153,6 +155,9 @@ func Replay(r io.Reader) (*Outcome, error) {
 			if tracker != nil {
 				tracker.StartRun(rec.Run.Key)
 			}
+			if err := ctls.startRun(rec.Run.Key); err != nil {
+				return nil, err
+			}
 		case rec.Round != nil:
 			rr := rec.Round
 			stamped := store.Add(rr.Key, rr.Point, sinks...)
@@ -160,6 +165,7 @@ func Replay(r io.Reader) (*Outcome, error) {
 				return nil, fmt.Errorf("scenario: recording line %d: key %q replays round %d where the recording says %d (truncated or reordered stream)",
 					lineNo, rr.Key, stamped.Round, rr.Point.Round)
 			}
+			ctls.observe(rr.Key, stamped)
 			if tracker != nil {
 				// lineNo is this round record's line — the same offset
 				// the live recorder stamped, so exemplars agree.
@@ -186,7 +192,76 @@ func Replay(r io.Reader) (*Outcome, error) {
 		out.SLO = tracker.Statuses()
 		out.SLOEvents = tracker.Log()
 	}
+	out.Adapts = ctls.decisions()
 	return out, nil
+}
+
+// replayBudget extracts the per-node energy supply that alert burn-rate
+// rules and adapt controllers project against — the same value the live
+// engine pulls from the built config.
+func replayBudget(s *Scenario) (float64, error) {
+	if len(s.Alerts) == 0 && len(s.Adapt) == 0 {
+		return 0, nil
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		return 0, err
+	}
+	return cfg.Energy.InitialBudget, nil
+}
+
+// replayControllers re-derives the closed-loop decision stream offline.
+// Live, the engine gives every grid job a fresh controller observing the
+// job's stamped points; decisions are a pure function of that stream, so
+// building a fresh unbound controller at each run marker and feeding it
+// the replayed points reconstructs the identical log — no decisions need
+// recording. Controllers are kept in marker order so the flattened log
+// matches the live job-order collection.
+type replayControllers struct {
+	sc     *Scenario
+	budget float64
+	cur    map[string]*adapt.Controller
+	order  []*adapt.Controller
+}
+
+func newReplayControllers(s *Scenario, budget float64) *replayControllers {
+	if len(s.Adapt) == 0 {
+		return nil
+	}
+	return &replayControllers{sc: s, budget: budget, cur: make(map[string]*adapt.Controller)}
+}
+
+func (c *replayControllers) startRun(key string) error {
+	if c == nil {
+		return nil
+	}
+	ctl, err := adapt.NewController(c.budget, c.sc.Adapt...)
+	if err != nil {
+		return err
+	}
+	c.cur[key] = ctl
+	c.order = append(c.order, ctl)
+	return nil
+}
+
+func (c *replayControllers) observe(key string, p series.Point) {
+	if c == nil {
+		return
+	}
+	if ctl := c.cur[key]; ctl != nil {
+		ctl.Observe(key, p)
+	}
+}
+
+func (c *replayControllers) decisions() []adapt.Decision {
+	if c == nil {
+		return nil
+	}
+	var ds []adapt.Decision
+	for _, ctl := range c.order {
+		ds = append(ds, ctl.Decisions()...)
+	}
+	return ds
 }
 
 // ReplayWindow re-drives only the rounds in [from, to] (as recorded)
@@ -214,16 +289,16 @@ func ReplayWindow(r io.Reader, from, to int) (*Outcome, error) {
 	store := series.New(s.Capacity)
 	var eng *alert.Engine
 	var sinks []series.Sink
+	budget, err := replayBudget(s)
+	if err != nil {
+		return nil, err
+	}
 	if len(s.Alerts) > 0 {
 		eng, err = alert.NewEngine(s.Alerts...)
 		if err != nil {
 			return nil, err
 		}
-		cfg, err := s.Config()
-		if err != nil {
-			return nil, err
-		}
-		eng.DefaultBudget(cfg.Energy.InitialBudget)
+		eng.DefaultBudget(budget)
 		sinks = append(sinks, eng.Observe)
 	}
 	var tracker *slo.Tracker
@@ -232,6 +307,7 @@ func ReplayWindow(r io.Reader, from, to int) (*Outcome, error) {
 			return nil, err
 		}
 	}
+	ctls := newReplayControllers(s, budget)
 
 	out := &Outcome{Scenario: s, Replayed: true}
 	sc := bufio.NewScanner(br)
@@ -255,18 +331,24 @@ func ReplayWindow(r io.Reader, from, to int) (*Outcome, error) {
 			if tracker != nil {
 				tracker.StartRun(rec.Run.Key)
 			}
+			if err := ctls.startRun(rec.Run.Key); err != nil {
+				return nil, err
+			}
 		case rec.Round != nil:
 			rr := rec.Round
 			if rr.Point.Round < from || rr.Point.Round > to {
 				continue
 			}
-			// The store rebases the window to round 0; rules and the
-			// SLO tracker observe the point with its recorded round so
-			// their events reference the same rounds the exemplar does.
+			// The store rebases the window to round 0; rules, the SLO
+			// tracker, and the adapt controllers observe the point with
+			// its recorded round so their events reference the same
+			// rounds the exemplar does (controllers arm cold at the
+			// window edge, like a fresh engine).
 			store.Add(rr.Key, rr.Point)
 			for _, sink := range sinks {
 				sink(rr.Key, rr.Point)
 			}
+			ctls.observe(rr.Key, rr.Point)
 			if tracker != nil {
 				tracker.Observe(rr.Key, slo.SampleFromPoint(rr.Point, s.measurementsFor(rr.Key), int64(lineNo)))
 			}
@@ -291,5 +373,6 @@ func ReplayWindow(r io.Reader, from, to int) (*Outcome, error) {
 		out.SLO = tracker.Statuses()
 		out.SLOEvents = tracker.Log()
 	}
+	out.Adapts = ctls.decisions()
 	return out, nil
 }

@@ -9,6 +9,7 @@ import (
 	"io"
 	"sort"
 
+	"wsnq/internal/adapt"
 	"wsnq/internal/alert"
 	"wsnq/internal/experiment"
 	"wsnq/internal/series"
@@ -31,7 +32,11 @@ type Verdict struct {
 // Outcome is the result of running (or replaying) a scenario: the full
 // series store snapshot, the alert log, the per-round verdicts, and —
 // when the scenario declares SLOs — the final budget statuses and the
-// burn-rate transition log. Metrics is populated on live runs only —
+// burn-rate transition log. Adapts holds the closed-loop controller's
+// decision log when the scenario declares adapt policies; replay
+// re-derives it from the recorded point stream (decisions are a pure
+// function of the points each run's controller observed), so it is
+// hash-covered like the rest. Metrics is populated on live runs only —
 // replay reconstructs streams, not simulator aggregates — and is
 // therefore excluded from Hash, which digests exactly the replayable
 // state.
@@ -43,6 +48,7 @@ type Outcome struct {
 	Verdicts  []Verdict
 	SLO       []slo.Status
 	SLOEvents []slo.Event
+	Adapts    []adapt.Decision
 	Metrics   map[string]experiment.Metrics
 }
 
@@ -79,6 +85,12 @@ func (o *Outcome) Hash() string {
 	for _, e := range o.SLOEvents {
 		b, _ := json.Marshal(e)
 		fmt.Fprintf(h, "sloevent %s\n", b)
+	}
+	// Adapt lines likewise appear only when the scenario declares
+	// closed-loop policies and they fired.
+	for _, d := range o.Adapts {
+		b, _ := json.Marshal(d)
+		fmt.Fprintf(h, "adapt %s\n", b)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -141,6 +153,18 @@ func Record(ctx context.Context, s *Scenario, w io.Writer) (*Outcome, error) {
 		Faults:    s.Faults,
 		ARQ:       s.ARQ,
 	}
+	var adapts []adapt.Decision
+	if len(s.Adapt) > 0 {
+		opts.Adapt = &experiment.AdaptOptions{
+			Policies: s.Adapt,
+			// The scenario hooks force sequential execution, so jobs
+			// complete — and log their decisions — in grid order: the
+			// same order Replay walks the run markers.
+			Log: func(_ experiment.TraceJob, _ string, ds []adapt.Decision) {
+				adapts = append(adapts, ds...)
+			},
+		}
+	}
 
 	metrics := make(map[string]experiment.Metrics)
 	if s.Sweep != nil {
@@ -172,6 +196,7 @@ func Record(ctx context.Context, s *Scenario, w io.Writer) (*Outcome, error) {
 		Scenario: s,
 		Series:   store.Snapshot(),
 		Verdicts: rec.verdicts,
+		Adapts:   adapts,
 		Metrics:  metrics,
 	}
 	if eng != nil {

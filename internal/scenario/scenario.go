@@ -26,6 +26,7 @@
 //	arq off | arq retries=N dead=N     link-layer recovery override
 //	alerts RULES                       alert rule grammar (internal/alert)
 //	slo SPEC                           one SLO (internal/slo grammar); repeatable
+//	adapt POLICIES                     closed-loop policies (internal/adapt grammar)
 //	sweep AXIS V1,V2,...               one axis: nodes phi loss range rounds period noise
 //
 // Every key except fault and slo appears at most once. Parse materializes the
@@ -42,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 
+	"wsnq/internal/adapt"
 	"wsnq/internal/alert"
 	"wsnq/internal/data"
 	"wsnq/internal/experiment"
@@ -75,6 +77,7 @@ type Scenario struct {
 	ARQ    *sim.ARQConfig
 	Alerts []alert.Rule
 	SLOs   []slo.Spec
+	Adapt  []adapt.Policy
 	Sweep  *Sweep
 }
 
@@ -241,6 +244,15 @@ func (s *Scenario) apply(key, rest string) error {
 			return err
 		}
 		s.SLOs = append(s.SLOs, sp)
+	case "adapt":
+		ps, err := adapt.Parse(rest)
+		if err != nil {
+			return err
+		}
+		if len(ps) == 0 {
+			return fmt.Errorf("adapt: empty policy list")
+		}
+		s.Adapt = ps
 	case "sweep":
 		return s.applySweep(rest)
 	default:
@@ -602,6 +614,9 @@ func (s *Scenario) String() string {
 	for _, sp := range s.SLOs {
 		line("slo", sp.String())
 	}
+	if len(s.Adapt) > 0 {
+		line("adapt", adapt.Format(s.Adapt))
+	}
 	if s.Sweep != nil {
 		vals := make([]string, len(s.Sweep.Values))
 		for i, v := range s.Sweep.Values {
@@ -633,6 +648,10 @@ func (s *Scenario) AlertSpec() string {
 // SLOSpec renders the SLO declarations back into the slo.ParseSpecs
 // grammar ("" when the scenario has none).
 func (s *Scenario) SLOSpec() string { return slo.FormatSpecs(s.SLOs) }
+
+// AdaptSpec renders the closed-loop policies back into the adapt.Parse
+// grammar ("" when the scenario has none).
+func (s *Scenario) AdaptSpec() string { return adapt.Format(s.Adapt) }
 
 // measurementsFor returns the per-round measurement population behind
 // one series key — the N that scales the εN rank bound. Keys of a

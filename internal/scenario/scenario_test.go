@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"wsnq/internal/adapt"
 )
 
 // TestParseDefaults: an empty file is the default scenario, and the
@@ -59,6 +61,7 @@ fault crash@3-6:n5
 fault burst(p=0.4,len=3):link
 arq retries=2 dead=4
 alerts storm=frames:mean(5)>400; err=rank_error:max(3)>=10,20
+adapt on storm(crit) do switch iq hold 2; on excursion(warn) do widen 1.5
 sweep loss 0.05,0.1,0.2
 `
 	s, err := Parse(src)
@@ -86,6 +89,9 @@ sweep loss 0.05,0.1,0.2
 	}
 	if s.Sweep == nil || s.Sweep.Axis != "loss" || len(s.Sweep.Values) != 3 {
 		t.Fatalf("sweep wrong: %+v", s.Sweep)
+	}
+	if len(s.Adapt) != 2 || s.Adapt[0].Target != "IQ" || s.Adapt[0].Hold != 2 || s.Adapt[1].Factor != 1.5 {
+		t.Fatalf("adapt wrong: %+v", s.Adapt)
 	}
 	roundTrip(t, s)
 }
@@ -131,9 +137,13 @@ func TestParseErrors(t *testing.T) {
 		"arq retries=x",                       // bad arq value
 		"arq banana",                          // bad arq clause
 		"alerts x=frames:mean(0)>1",           // alert grammar error
-		"sweep flux 1,2",                      // unknown axis
-		"sweep nodes 10.5,20",                 // non-integral int axis
-		"sweep loss 0.1,0.1",                  // duplicate value
+		"adapt on bogus(warn) do reroot",      // unknown trigger preset
+		"adapt on storm do dance",             // unknown action
+		"adapt",                               // missing value
+		"adapt on storm do reroot\nadapt on storm do reroot", // duplicate key
+		"sweep flux 1,2",      // unknown axis
+		"sweep nodes 10.5,20", // non-integral int axis
+		"sweep loss 0.1,0.1",  // duplicate value
 		"sweep loss " + strings.Repeat("0.1,", 33) + "0.9", // too many values
 		"data pressure\nsweep period 1,2",                  // period sweep needs synthetic
 		"capacity 4",                                       // below series floor
@@ -209,6 +219,44 @@ func TestRecordReplayIdentical(t *testing.T) {
 	// Live outcomes carry metrics; replays cannot.
 	if len(live.Metrics) != 2 || len(replayed.Metrics) != 0 {
 		t.Fatalf("metrics wrong: live %d entries, replay %d", len(live.Metrics), len(replayed.Metrics))
+	}
+}
+
+// TestRecordReplayAdaptIdentical: with closed-loop policies declared,
+// the live decision log must fire, be re-derived bit-identically by
+// replay, and be covered by the outcome hash.
+func TestRecordReplayAdaptIdentical(t *testing.T) {
+	s, err := Parse(testScenarioSrc + "adapt on storm(warn) do widen 1.5 cooldown 3; on excursion(warn) do reroot\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var buf bytes.Buffer
+	live, err := Record(context.Background(), s, &buf)
+	if err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if len(live.Adapts) == 0 {
+		t.Fatal("no controller decisions fired — the scenario no longer exercises the adapt path")
+	}
+
+	replayed, err := Replay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(replayed.Adapts, live.Adapts) {
+		t.Fatalf("replayed decisions differ:\n got %+v\nwant %+v", replayed.Adapts, live.Adapts)
+	}
+	if replayed.Hash() != live.Hash() {
+		t.Fatalf("replay hash %s != live hash %s", replayed.Hash(), live.Hash())
+	}
+
+	// The hash must cover the decision log: flipping one decision's
+	// round must change it.
+	mutated := *live
+	mutated.Adapts = append([]adapt.Decision(nil), live.Adapts...)
+	mutated.Adapts[0].Round++
+	if mutated.Hash() == live.Hash() {
+		t.Fatal("outcome hash ignores the decision log")
 	}
 }
 

@@ -81,6 +81,12 @@ type Point struct {
 	SLOBurn   float64 `json:"slo_burn,omitempty"`
 	SLOSpend  float64 `json:"slo_spend,omitempty"`
 
+	// Adapts counts the closed-loop controller actions applied during
+	// the span (additive), populated only on runs with an attached
+	// adaptation controller — omitempty keeps controller-free recordings
+	// and golden digests byte-identical.
+	Adapts int `json:"adapts,omitempty"`
+
 	// Runtime health metrics (internal/prof), populated only when the
 	// profiling layer is attached — omitempty keeps recordings and
 	// golden digests from unprofiled runs byte-identical. AllocBytes
@@ -150,6 +156,7 @@ func merge(a, b Point) Point {
 	a.StepMs += b.StepMs
 	a.SLOBurn = b.SLOBurn
 	a.SLOSpend = b.SLOSpend
+	a.Adapts += b.Adapts
 	a.HotJoules = b.HotJoules
 	a.AllocBytes += b.AllocBytes
 	a.AllocObjects += b.AllocObjects
@@ -398,6 +405,7 @@ type Totals struct {
 	Messages       int     // logical payload transmissions (per hop)
 	Frames         int     // link-layer frames
 	Retries        int     // ARQ retransmissions (fault mode)
+	Adapts         int     // closed-loop controller actions applied
 	ValidationBits int     // wire bits booked to validation and filter phases
 	RefinementBits int     // wire bits booked to the refinement phase
 	ShippingBits   int     // wire bits booked to collection and init phases
@@ -492,6 +500,7 @@ func (in *totalsIngester) Collect(e trace.Event) {
 			RankError:      in.rankErr,
 			Refines:        in.refines,
 			Retries:        t.Retries - in.prev.Retries,
+			Adapts:         t.Adapts - in.prev.Adapts,
 			Orphans:        in.orphans,
 			Deficit:        in.deficit,
 			Staleness:      in.stale,
@@ -596,6 +605,8 @@ func (in *ingester) Collect(e trace.Event) {
 		in.cur.Retries++
 		in.cur.Frames += e.Frames
 		in.addPhaseBits(e)
+	case trace.KindAdapt:
+		in.cur.Adapts++
 	case trace.KindDegraded:
 		if e.Values > in.cur.Orphans {
 			in.cur.Orphans = e.Values

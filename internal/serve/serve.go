@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wsnq/internal/adapt"
 	"wsnq/internal/alert"
 	"wsnq/internal/energy"
 	"wsnq/internal/experiment"
@@ -88,6 +89,12 @@ type Config struct {
 	// that does not declare its own; queries evaluate their objectives
 	// at each Advance and stamp budget status into their Updates.
 	SLO string
+	// Adapt, when non-empty, is the registry-default closed-loop
+	// adaptation policy spec (adapt.Parse grammar) attached to every
+	// query that does not declare its own: each such query gets a
+	// private controller that turns its alert stream into protocol
+	// actions between rounds and stamps the decisions onto its Updates.
+	Adapt string
 }
 
 // Spec describes one continuous query registration. The wire-visible
@@ -121,6 +128,12 @@ type Spec struct {
 	// grammar, e.g. "rank epsilon=0.02; latency ms=50"); empty inherits
 	// the registry default (Config.SLO).
 	SLO string `json:"slo,omitempty"`
+	// Adapt declares the query's closed-loop adaptation policies
+	// (adapt.Parse grammar, e.g. "on storm do switch iq"); empty
+	// inherits the registry default (Config.Adapt). Fired actions apply
+	// to this query's own protocol instance between rounds and appear
+	// as Update.Adapts.
+	Adapt string `json:"adapt,omitempty"`
 
 	// Series, when non-nil, receives the query's per-round points
 	// instead of a registry-built private store.
@@ -161,6 +174,10 @@ type Update struct {
 	LatencyMs float64 `json:"latency_ms,omitempty"`
 
 	Alerts []alert.Event `json:"alerts,omitempty"`
+	// Adapts lists the closed-loop controller decisions applied before
+	// this round's protocol work — decided on the previous round's data
+	// (queries with adaptation policies only).
+	Adapts []adapt.Decision `json:"adapts,omitempty"`
 	// SLO is the refreshed budget status of each of the query's
 	// objectives after this round; SLOEvents are the burn-rate level
 	// transitions the round fired, exemplars included.
@@ -405,6 +422,22 @@ func buildQuery(spec Spec, cfg experiment.Config, fleet *Fleet, rcfg Config) (*Q
 			}
 		}
 	}
+	var ctl *adapt.Controller
+	adaptSpec := spec.Adapt
+	if adaptSpec == "" {
+		adaptSpec = rcfg.Adapt
+	}
+	if adaptSpec != "" {
+		policies, err := adapt.Parse(adaptSpec)
+		if err != nil {
+			return nil, err
+		}
+		if len(policies) > 0 {
+			if ctl, err = adapt.NewController(cfg.Energy.InitialBudget, policies...); err != nil {
+				return nil, err
+			}
+		}
+	}
 	q := &Query{
 		id:     spec.ID,
 		spec:   spec,
@@ -415,12 +448,20 @@ func buildQuery(spec Spec, cfg experiment.Config, fleet *Fleet, rcfg Config) (*Q
 		store:  store,
 		eng:    eng,
 		slo:    tracker,
+		ctl:    ctl,
 		subBuf: rcfg.SubscriberBuffer,
 	}
 	var sinks []series.Sink
 	if eng != nil {
 		eng.StartRun(spec.Key)
 		sinks = append(sinks, eng.Observe)
+	}
+	if ctl != nil {
+		// The controller rides the same ingester as the query's own
+		// alert engine but evaluates its policies on a private one, so a
+		// query's Rules and its adaptation never interfere.
+		ctl.Bind(adapt.BindRuntime(q.alg, rt))
+		sinks = append(sinks, ctl.Observe)
 	}
 	// The sampling ingester diffs the runtime's cumulative counters at
 	// the round boundaries AdvanceRound emits — the same fast path the
@@ -592,11 +633,13 @@ type Query struct {
 	store   *series.Store
 	eng     *alert.Engine
 	slo     *slo.Tracker
+	ctl     *adapt.Controller
 	inited  bool
 	closed  bool
 	round   int
 	alertAt int     // absolute alert-log cursor (alert.Engine.LogSince)
 	sloAt   int     // absolute SLO-event cursor (slo.Tracker.LogSince)
+	adaptAt int     // decision-log cursor (adapt.Controller.DecisionsSince)
 	stepMs  float64 // cumulative answer latency, sampled into the series
 	last    Update
 	hasLast bool
@@ -670,13 +713,29 @@ func (q *Query) step(dropped *atomic.Int64) {
 		err error
 	)
 	if !q.inited {
+		// Initialization is modeled as reliable transfer, exactly like
+		// the batch engine and the round-by-round Simulation: iid loss
+		// and link-level faults are suspended for the replay.
+		lossP := q.rt.LossProb()
+		if lossP > 0 {
+			_ = q.rt.SetLossProb(0)
+		}
 		q.rt.SetFaultReliable(true)
 		v, err = q.alg.Init(q.rt, q.k)
 		q.rt.SetFaultReliable(false)
+		if lossP > 0 {
+			_ = q.rt.SetLossProb(lossP)
+		}
 		q.inited = true
 	} else {
 		q.rt.AdvanceRound()
 		q.round++
+		if q.ctl != nil {
+			// The previous round's point flushed through the controller
+			// during AdvanceRound; its queued actions apply before this
+			// round's protocol work, mirroring the experiment engine.
+			q.ctl.Apply()
+		}
 		v, err = q.alg.Step(q.rt)
 	}
 	if err != nil {
@@ -699,6 +758,9 @@ func (q *Query) step(dropped *atomic.Int64) {
 	}
 	if q.eng != nil {
 		u.Alerts, q.alertAt = q.eng.LogSince(q.alertAt)
+	}
+	if q.ctl != nil {
+		u.Adapts, q.adaptAt = q.ctl.DecisionsSince(q.adaptAt)
 	}
 	if q.slo != nil {
 		u.LatencyMs = float64(time.Since(began)) / float64(time.Millisecond)

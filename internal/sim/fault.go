@@ -326,6 +326,87 @@ func (rt *Runtime) repairDetached() {
 	}
 }
 
+// ProactiveReroot offloads the hottest relay before it dies: the
+// closed-loop controller (internal/adapt) calls it when an energy
+// burn-rate alert projects a relay's death inside the horizon. It picks
+// the alive non-virtual node with the highest cumulative energy drain
+// that still carries radio children and re-parents each of those
+// children onto the best in-range candidate *outside* the relay's
+// subtree — a sibling adoption would keep routing the traffic through
+// the hot node. Every successful move pays the same join handshake as
+// reactive repair (repairDetached) and flags the run for protocol
+// re-initialization. Returns the number of subtrees moved; zero without
+// an attached fault plan, because only SetFaults clones the topology
+// into privately mutable state.
+func (rt *Runtime) ProactiveReroot() int {
+	f := rt.flt
+	if f == nil {
+		return 0
+	}
+	spent := rt.ledger.Snapshot()
+	hot := -1
+	for u := 0; u < rt.top.N(); u++ {
+		if rt.top.IsVirtual(u) || rt.crashedNode(u) || !rt.hasRadioChildren(u) {
+			continue
+		}
+		if u >= len(spent) {
+			continue
+		}
+		if hot < 0 || spent[u] > spent[hot] {
+			hot = u
+		}
+	}
+	if hot < 0 {
+		return 0
+	}
+	// Candidate mask: sink-reachable nodes outside the hot relay's
+	// subtree.
+	rt.computeReach()
+	mask := make([]bool, rt.top.N())
+	for u := range mask {
+		mask[u] = f.reach[u] && !rt.top.InSubtree(u, hot)
+	}
+	moved := 0
+	children := append([]int(nil), rt.top.Children[hot]...)
+	for _, c := range children {
+		if rt.top.IsVirtual(c) || rt.crashedNode(c) {
+			continue
+		}
+		newParent, ok := rt.top.RepairCandidate(c, mask, !f.inj.PartitionActive())
+		if !ok {
+			continue
+		}
+		if err := rt.top.Reparent(c, newParent); err != nil {
+			continue
+		}
+		f.detached[c], f.deadRounds[c] = false, 0
+		f.repairs++
+		f.reinit = true
+		moved++
+		// Join handshake: request up, confirm down, one header frame
+		// each way — identical to reactive repair.
+		ackWire := rt.sizes.HeaderBits
+		rt.ledger.ChargeSend(c, ackWire, rt.uplinkRange(c))
+		rt.ledger.ChargeRecv(newParent, ackWire)
+		rt.ledger.ChargeSend(newParent, ackWire, rt.uplinkRange(c))
+		rt.ledger.ChargeRecv(c, ackWire)
+		rt.stats.AckFrames += 2
+		rt.accountControl(2*ackWire, 2)
+		if rt.tr != nil {
+			rt.tr.Collect(trace.Event{
+				Kind: trace.KindReparent, Round: rt.round, Phase: rt.Phase(),
+				Node: c, Peer: newParent, Aux: hot,
+			})
+			rt.emitControlFrame(c, newParent, ackWire)
+			rt.emitControlFrame(newParent, c, ackWire)
+		}
+	}
+	if moved > 0 {
+		rt.computeReach()
+	}
+	return moved
+}
+
 // computeReach recomputes per-node sink connectivity and the derived
 // missing/orphan counts. Iterating the post-order backwards visits
 // parents before children.

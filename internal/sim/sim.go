@@ -100,6 +100,7 @@ type Stats struct {
 	PayloadsLostDown int // broadcast (downstream) deliveries lost
 	Retries          int // ARQ retransmissions
 	AckFrames        int // link-layer ACK frames (ARQ and join handshakes)
+	Adapts           int // closed-loop controller actions applied
 
 	// PerPhase attributes the traffic to protocol stages, keyed by the
 	// Phase* labels.
@@ -333,6 +334,24 @@ func (rt *Runtime) TraceDecision(k, q int) {
 			Aux: rt.Staleness(), Err: f.missing + f.lostSub,
 		})
 	}
+}
+
+// TraceAdapt records one applied closed-loop controller action: the
+// action code (internal/adapt vocabulary) in Aux and its integer
+// argument in Value. It increments Stats.Adapts unconditionally — the
+// per-round series column and the "adapts" alert metric are derived
+// from the counter, so controller activity stays visible on untraced
+// runs — and emits the KindAdapt event only when a collector is
+// attached.
+func (rt *Runtime) TraceAdapt(action, arg int) {
+	rt.stats.Adapts++
+	if rt.tr == nil {
+		return
+	}
+	rt.tr.Collect(trace.Event{
+		Kind: trace.KindAdapt, Round: rt.round, Phase: rt.Phase(),
+		Node: -1, Value: arg, Aux: action,
+	})
 }
 
 // RankErrorOf returns the distance between k and the closest rank the

@@ -145,6 +145,7 @@ type Report struct {
 	Retries    int // ARQ retransmissions
 	AckFrames  int // link-layer ACK / handshake frames
 	Degraded   int // rounds tagged with a degraded answer
+	Adapts     int // closed-loop controller actions applied
 	Violations []Violation
 }
 
@@ -276,6 +277,8 @@ func Check(events []trace.Event, cfg Config) Report {
 			if e.Err > degradedBound[e.Round] {
 				degradedBound[e.Round] = e.Err
 			}
+		case trace.KindAdapt:
+			rep.Adapts++
 		case trace.KindDecision:
 			if decided[e.Round] {
 				rep.violate(e.Round, "quantile", "multiple decisions in one round")

@@ -68,6 +68,11 @@ const (
 	// coverage), and Err the rank-error bound from the missing
 	// measurements.
 	KindDegraded
+	// KindAdapt records a closed-loop controller action applied to the
+	// running protocol: Aux is the action code (internal/adapt), Value
+	// its integer argument (switch target index, Ξ scale in percent, or
+	// the number of offloaded subtrees for a proactive reroot).
+	KindAdapt
 )
 
 var kindNames = [...]string{
@@ -84,6 +89,7 @@ var kindNames = [...]string{
 	KindCrash:      "crash",
 	KindReparent:   "reparent",
 	KindDegraded:   "degraded",
+	KindAdapt:      "adapt",
 }
 
 func (k Kind) String() string {

@@ -51,6 +51,14 @@ type Observer struct {
 	// on phase switches, not on the trace stream, so Collector does not
 	// carry it).
 	Prof *Prof
+	// Adapt attaches a closed-loop adaptation controller: each study run
+	// gets its own policy evaluator acting on that run's protocol, and
+	// the decision logs collect in the controller (Decisions). Unlike
+	// the stream sinks above it never forces sequential execution. A
+	// live Simulation attaches it with Simulation.SetController
+	// (actuation needs the simulation's own algorithm instance, so
+	// Collector does not carry it).
+	Adapt *Controller
 	// Key namespaces the series keys this observer writes: studies
 	// prefix every engine key with "Key/", and served queries use it
 	// verbatim as the query's series key.
@@ -77,6 +85,9 @@ func (ob *Observer) apply(o *engineOptions) {
 	}
 	if ob.Prof != nil {
 		o.exp.Prof = ob.Prof.rec
+	}
+	if ob.Adapt != nil {
+		o.exp.Adapt = ob.Adapt.engineOptions()
 	}
 	if ob.Key != "" {
 		o.exp.KeyPrefix = ob.Key

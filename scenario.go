@@ -81,6 +81,10 @@ func (sc *Scenario) AlertRules() string { return sc.s.AlertSpec() }
 // ParseSLOSpecs grammar ("" when it has none).
 func (sc *Scenario) SLOSpecs() string { return sc.s.SLOSpec() }
 
+// AdaptPolicies renders the scenario's closed-loop adaptation policies
+// in the Controller grammar ("" when it has none).
+func (sc *Scenario) AdaptPolicies() string { return sc.s.AdaptSpec() }
+
 // ScenarioVerdict is one round's root decision in a scenario outcome:
 // the reported quantile, the queried rank, and the rank error, paired
 // with the series key and round index.
@@ -120,6 +124,12 @@ func (o *ScenarioOutcome) SLO() []SLOStatus { return o.out.SLO }
 // SLOEvents returns the chronological burn-rate transition log, each
 // event carrying the exemplar round span that tripped it.
 func (o *ScenarioOutcome) SLOEvents() []SLOEvent { return o.out.SLOEvents }
+
+// AdaptDecisions returns the closed-loop controller's decision log in
+// run order (empty when the scenario declares no adapt policies).
+// Replay re-derives it bit-identically from the recorded point stream,
+// so the log is covered by Hash.
+func (o *ScenarioOutcome) AdaptDecisions() []AdaptDecision { return o.out.Adapts }
 
 // Metrics returns the averaged study metrics per series key. Empty for
 // replayed outcomes: replay reconstructs streams, not simulator
@@ -209,7 +219,11 @@ func NewScenarioSimulation(sc *Scenario, alg Algorithm) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulation{rt: rt, alg: f(), k: icfg.K(), seed: icfg.Seed ^ 0xFA07}
+	s := &Simulation{
+		rt: rt, alg: f(), k: icfg.K(),
+		seed:   icfg.Seed ^ 0xFA07,
+		budget: icfg.Energy.InitialBudget,
+	}
 	if sc.s.Faults != nil {
 		arq := sim.DefaultARQ()
 		if sc.s.ARQ != nil {

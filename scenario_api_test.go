@@ -33,6 +33,7 @@ var goldenOutcomes = map[string]string{
 	"lossy-storm":    "d85323147bb9cd06ae2208ac37f5e3fb8f36c970d11efa35d5ae986faf2d0fa3",
 	"crash-recovery": "7966be454f21bd9d42f6d0761560b41247d1778a05aafdee4379b4ba7e0c27b4",
 	"serve-load":     "e7c06c4031ad37090e875d5a9c74d31c59fe6fb189896829a5ae4584eae6317d",
+	"selfheal":       "49e9f801dda7d3cd4a51f8ee06f41c780da9c547f18cceb9367c44e1d86ce698",
 }
 
 // maxRecordingBytes guards committed recording size: golden recordings
@@ -102,6 +103,11 @@ func TestGoldenScenarioReplays(t *testing.T) {
 			if sc.Rounds() <= 0 || len(out.Verdicts())%sc.Rounds() != 0 {
 				t.Errorf("verdict count %d is not a multiple of the scenario's %d rounds",
 					len(out.Verdicts()), sc.Rounds())
+			}
+			// A scenario with adapt policies must re-derive a non-empty
+			// decision log from the recorded point stream.
+			if sc.AdaptPolicies() != "" && len(out.AdaptDecisions()) == 0 {
+				t.Error("adapt scenario replayed with an empty decision log")
 			}
 		})
 	}

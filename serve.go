@@ -42,6 +42,11 @@ type ServerConfig struct {
 	// grammar) evaluated for every query that does not override them;
 	// each query gets its own tracker, so budgets stay isolated.
 	SLO string
+	// Adapt optionally declares default closed-loop adaptation policies
+	// (the Controller grammar) for every query that does not override
+	// them; each query gets its own controller acting on its own
+	// protocol instance, with decisions stamped into its updates.
+	Adapt string
 	// Observer, when non-nil, provides the server-wide observability
 	// surface: its Handler serves the telemetry endpoints every
 	// request outside the query API falls through to. Its Prof slot
@@ -73,6 +78,12 @@ type QuerySpec struct {
 	// Budget status is stamped into every QueryUpdate and served by
 	// GET /slo and the query view.
 	SLO string
+	// Adapt optionally declares this query's closed-loop adaptation
+	// policies (the Controller grammar), overriding the server-wide
+	// ServerConfig.Adapt default. Fired actions apply to this query's
+	// own protocol instance between rounds; the decisions appear in
+	// QueryUpdate.Adapts.
+	Adapt string
 	// Window is the sliding-window length for the stats reported by
 	// the query view; 0 selects the default (32).
 	Window int
@@ -115,6 +126,7 @@ func NewServer(cfg ServerConfig) *Server {
 		SubscriberBuffer: cfg.SubscriberBuffer,
 		Workers:          cfg.Workers,
 		SLO:              cfg.SLO,
+		Adapt:            cfg.Adapt,
 		Prof:             rec,
 		Resolve:          func(name string) (experiment.Factory, error) { return factory(Algorithm(name)) },
 	})}
@@ -146,6 +158,7 @@ func (s *Server) Register(spec QuerySpec) (string, error) {
 		Algorithm: string(spec.Algorithm),
 		Rules:     spec.AlertRules,
 		SLO:       spec.SLO,
+		Adapt:     spec.Adapt,
 		Window:    spec.Window,
 	}
 	if ob := spec.Observer; ob != nil {

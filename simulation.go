@@ -3,10 +3,13 @@ package wsnq
 import (
 	"fmt"
 
+	"wsnq/internal/adapt"
 	"wsnq/internal/core"
 	"wsnq/internal/experiment"
 	"wsnq/internal/protocol"
+	"wsnq/internal/series"
 	"wsnq/internal/sim"
+	"wsnq/internal/trace"
 )
 
 // Simulation drives a single deployment round by round, for live
@@ -17,9 +20,14 @@ type Simulation struct {
 	alg    protocol.Algorithm
 	k      int
 	seed   int64
+	budget float64
 	round  int
 	init   bool
 	faults bool
+
+	userTrace TraceCollector  // collector attached via SetTrace
+	adaptTap  trace.Collector // private point derivation for the controller
+	ctl       *adapt.Controller
 }
 
 // RoundResult reports one simulation round.
@@ -46,6 +54,10 @@ type RoundResult struct {
 	Staleness int
 	Orphans   int
 	Reinit    bool
+
+	// Adapts counts the closed-loop controller actions applied so far
+	// (cumulative; zero without SetController).
+	Adapts int
 }
 
 // NewSimulation assembles one deployment (run index 0 of cfg) with the
@@ -63,7 +75,11 @@ func NewSimulation(cfg Config, alg Algorithm) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{rt: rt, alg: f(), k: icfg.K(), seed: icfg.Seed ^ 0xFA07}, nil
+	return &Simulation{
+		rt: rt, alg: f(), k: icfg.K(),
+		seed:   icfg.Seed ^ 0xFA07,
+		budget: icfg.Energy.InitialBudget,
+	}, nil
 }
 
 // SetFaults attaches a fault plan with the default ARQ recovery
@@ -88,7 +104,52 @@ func (s *Simulation) SetFaults(p *FaultPlan) error {
 // SetTrace attaches a flight recorder to the simulation (nil detaches):
 // c receives every subsequent event — rounds, per-hop traffic, energy
 // debits, and the decision recorded by each Step.
-func (s *Simulation) SetTrace(c TraceCollector) { s.rt.SetTrace(c) }
+func (s *Simulation) SetTrace(c TraceCollector) {
+	s.userTrace = c
+	s.syncTrace()
+}
+
+// syncTrace composes the user's collector with the controller's private
+// point tap into one chain on the runtime.
+func (s *Simulation) syncTrace() {
+	s.rt.SetTrace(trace.Multi(s.userTrace, s.adaptTap))
+}
+
+// SetController attaches a closed-loop adaptation controller to the
+// simulation: each Step first applies the actions the policies fired on
+// the previous round's data — pinning the adaptive hybrid, rescaling
+// IQ's Ξ, proactively re-rooting the tree — then runs the protocol.
+// The controller evaluates its policies on a private per-round point
+// stream (it never touches a collector attached with SetTrace), so the
+// decision sequence (AdaptDecisions) is a pure function of the
+// simulation. Call before the first Step; a nil c (or one with no
+// policies) detaches. Reroot policies additionally need SetFaults,
+// since tree repair lives in the fault layer.
+func (s *Simulation) SetController(c *Controller) error {
+	if c == nil || len(c.policies) == 0 {
+		s.ctl, s.adaptTap = nil, nil
+		s.syncTrace()
+		return nil
+	}
+	ctl, err := adapt.NewController(s.budget, c.policies...)
+	if err != nil {
+		return err
+	}
+	ctl.Bind(adapt.BindRuntime(s.alg, s.rt))
+	s.ctl = ctl
+	s.adaptTap = series.New(1).IngestTotals(s.alg.Name(), experiment.SeriesSampler(s.rt), ctl.Observe)
+	s.syncTrace()
+	return nil
+}
+
+// AdaptDecisions returns the controller's decision log so far (nil
+// without SetController), oldest first.
+func (s *Simulation) AdaptDecisions() []AdaptDecision {
+	if s.ctl == nil {
+		return nil
+	}
+	return s.ctl.Decisions()
+}
 
 // FinishTrace closes the event stream after the last Step: it emits
 // the final round's end-of-round event, which otherwise only fires
@@ -118,6 +179,13 @@ func (s *Simulation) Step() (RoundResult, error) {
 		reinit bool
 	)
 	replay := func() (int, error) {
+		// Initialization is modeled as reliable transfer, exactly like
+		// the batch engine: iid loss and link-level faults are suspended
+		// so the round-by-round driver derives the same streams.
+		if p := s.rt.LossProb(); p > 0 {
+			_ = s.rt.SetLossProb(0)
+			defer func() { _ = s.rt.SetLossProb(p) }()
+		}
 		s.rt.SetFaultReliable(true)
 		defer s.rt.SetFaultReliable(false)
 		return s.alg.Init(s.rt, s.k)
@@ -128,6 +196,13 @@ func (s *Simulation) Step() (RoundResult, error) {
 	} else {
 		s.rt.AdvanceRound()
 		s.round++
+		if s.ctl != nil {
+			// The previous round's point has flushed through the
+			// controller's tap during AdvanceRound; queued actions apply
+			// before this round's protocol work. A proactive reroot sets
+			// the repair flag the reinit check below consumes.
+			s.ctl.Apply()
+		}
 		if s.faults && s.rt.ConsumeReinit() {
 			reinit = true
 			q, err = replay()
@@ -159,6 +234,7 @@ func (s *Simulation) Step() (RoundResult, error) {
 		Staleness:     s.rt.Staleness(),
 		Orphans:       s.rt.Orphans(),
 		Reinit:        reinit,
+		Adapts:        st.Adapts,
 	}, nil
 }
 

@@ -304,6 +304,9 @@ type Metrics struct {
 	// RetriesPerRound is the mean number of ARQ retransmissions per
 	// round (zero without faults).
 	RetriesPerRound float64
+	// Adapts counts closed-loop controller actions applied over all runs
+	// (zero unless WithAdaptation attaches policies).
+	Adapts int
 }
 
 func fromInternal(m experiment.Metrics) Metrics {
@@ -321,6 +324,7 @@ func fromInternal(m experiment.Metrics) Metrics {
 		DegradedRounds:        m.DegradedRounds,
 		Repairs:               m.Repairs,
 		RetriesPerRound:       m.RetriesPerRound,
+		Adapts:                m.Adapts,
 		EnergyGini:            m.EnergyGini,
 		HotspotToMedianRatio:  m.HotspotToMedianRatio,
 		PhaseBitsPerRound:     m.PhaseBitsPerRound,
